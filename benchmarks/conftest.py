@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's figures/claims (see
+DESIGN.md's experiment index) through ``benchmark.pedantic(rounds=1)`` —
+these are simulation *experiments*, not micro-benchmarks, so one round is
+the meaningful unit and the printed tables (run with ``-s``) are the
+primary output.  Assertions encode the paper's qualitative shape: who
+wins, what bends, what stays flat.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

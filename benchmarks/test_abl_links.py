@@ -1,0 +1,22 @@
+"""ABL-LINK — §3.3 ablation: coupling-link bandwidth (50 vs 100 MB/s)."""
+
+from conftest import run_once
+from repro.experiments.abl_links import run_links
+from repro.experiments.common import print_rows
+
+
+def test_link_bandwidth_vs_sharing_cost(benchmark):
+    out = run_once(benchmark, run_links, duration=0.4, warmup=0.3)
+    print_rows(
+        "ABL-LINK — link bandwidth vs data-sharing cost",
+        out["rows"],
+        ["link_MB_per_s", "page_transfer_us", "cpu_ms_per_txn",
+         "ds_tax_pct", "throughput", "p95_ms"],
+    )
+    by = {r["link_MB_per_s"]: r for r in out["rows"]}
+    # faster links shrink the data-sharing CPU tax monotonically
+    assert by[50.0]["ds_tax_pct"] > by[100.0]["ds_tax_pct"] > by[500.0]["ds_tax_pct"]
+    # the 50 MB/s option costs several extra points of overhead vs 100
+    assert by[50.0]["ds_tax_pct"] - by[100.0]["ds_tax_pct"] > 2.0
+    # page transfer time halves exactly with doubled bandwidth
+    assert abs(by[50.0]["page_transfer_us"] - 2 * by[100.0]["page_transfer_us"]) < 1e-6

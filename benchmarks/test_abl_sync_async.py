@@ -1,0 +1,31 @@
+"""ABL-SYNC — §3.3 ablation: sync vs async CF command execution."""
+
+from conftest import run_once
+from repro.experiments.abl_sync_async import run_sync_async
+from repro.experiments.common import print_rows
+
+
+def test_sync_vs_async_commands(benchmark):
+    out = run_once(benchmark, run_sync_async)
+    print_rows(
+        "ABL-SYNC — sync vs async CF commands",
+        out["rows"],
+        ["mode", "link_latency_us", "cpu_us_per_op", "latency_us"],
+    )
+    rows = out["rows"]
+
+    def get(mode, lat_us):
+        return next(r for r in rows
+                    if r["mode"] == mode and r["link_latency_us"] == lat_us)
+
+    # at microsecond link latency (the product's), sync wins on BOTH cpu
+    # and latency — the paper's design rationale
+    assert get("sync", 2.0)["cpu_us_per_op"] < get("async", 2.0)["cpu_us_per_op"]
+    assert get("sync", 2.0)["latency_us"] < get("async", 2.0)["latency_us"]
+    # async CPU is flat in link latency; sync CPU grows with it (spinning)
+    assert (get("async", 200.0)["cpu_us_per_op"]
+            == get("async", 2.0)["cpu_us_per_op"])
+    assert (get("sync", 200.0)["cpu_us_per_op"]
+            > 5 * get("sync", 2.0)["cpu_us_per_op"])
+    # there IS a crossover: on slow links async burns less CPU
+    assert out["summary"]["async_wins_at_us"] is not None

@@ -1,0 +1,42 @@
+"""EXP-AVAIL — §2.5: continuous availability across unplanned and planned
+outages."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_availability import (
+    run_availability,
+    run_rolling_maintenance,
+)
+
+
+def test_unplanned_outage_continuity(benchmark):
+    out = run_once(benchmark, run_availability, window=0.4)
+    print_rows(
+        "EXP-AVAIL — unplanned outage (1 of 4 systems)",
+        out["timeline"],
+        ["t", "throughput", "lost", "phase"],
+    )
+    s = out["summary"]
+    print(f"\nsummary: {s}")
+    # the failure was detected and recovered automatically
+    assert s["detected_at"] is not None
+    assert s["recovered_at"] is not None
+    assert s["retained_after"] == 0
+    assert s["restarts"] >= 1
+    # service continued: post-recovery steady state carries the offered
+    # load (survivors have 1/N spare capacity)
+    assert s["post_recovery_tput"] > 0.8 * s["pre_failure_tput"]
+    # no total blackout: every window after the failure saw completions
+    post = [w for w in out["timeline"] if w["phase"] == "post-failure"]
+    assert sum(1 for w in post if w["throughput"] == 0) <= 1
+
+
+def test_rolling_maintenance_continuity(benchmark):
+    out = run_once(benchmark, run_rolling_maintenance, outage=1.2)
+    print_rows(
+        "EXP-AVAIL — rolling maintenance",
+        out["timeline"],
+        ["t", "throughput", "down"],
+    )
+    assert out["summary"]["zero_throughput_windows"] == 0
+    assert out["summary"]["all_back"]

@@ -1,0 +1,26 @@
+"""EXP-BAL — §2.3: dynamic balancing vs data partitioning under shifting
+demand hotspots."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_balancing import run_balancing
+
+
+def test_balancing_under_hotspots(benchmark):
+    out = run_once(benchmark, run_balancing, duration=0.9, warmup=0.3)
+    print_rows(
+        "EXP-BAL — rotating demand hotspot",
+        out["rows"],
+        ["architecture", "throughput", "mean_rt_ms", "p95_ms",
+         "util_spread", "failed"],
+    )
+    by = {r["architecture"]: r for r in out["rows"]}
+    part = by["partitioned"]
+    wlm = by["sysplex-wlm"]
+    # the balanced sysplex beats the partitioned baseline on response time
+    assert wlm["p95_ms"] < 0.5 * part["p95_ms"]
+    assert wlm["mean_rt_ms"] < 0.6 * part["mean_rt_ms"]
+    # ... and on how evenly the machines are used
+    assert wlm["util_spread"] < part["util_spread"]
+    # balancing actually did something vs. no-balancing sysplex
+    assert wlm["p95_ms"] < by["sysplex-local"]["p95_ms"]

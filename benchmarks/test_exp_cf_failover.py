@@ -1,0 +1,21 @@
+"""EXP-CFFAIL — §3.3: CF failover via structure rebuild."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_cf_failover import run_cf_failover
+
+
+def test_cf_failover_continuity(benchmark):
+    out = run_once(benchmark, run_cf_failover, window=0.3)
+    print_rows(
+        "EXP-CFFAIL — losing 1 of 2 CFs mid-run",
+        out["timeline"],
+        ["t", "throughput", "lost", "phase"],
+    )
+    s = out["summary"]
+    print(f"\nsummary: {s}")
+    assert s["rebuilds"] == 1
+    # the workload survives the CF loss at near-full throughput
+    assert s["post_tput"] > 0.8 * s["pre_tput"]
+    # only in-flight work at the instant of failure is lost
+    assert s["lost_total"] < 200

@@ -1,0 +1,25 @@
+"""EXP-COHER — §3.3: CF coherency vs message-broadcast coherency."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_coherency import check_shape, run_coherency
+
+
+def test_cf_vs_broadcast_coherency(benchmark):
+    out = run_once(benchmark, run_coherency,
+                   sweep=(2, 4, 8, 12), duration=0.4, warmup=0.3)
+    print_rows(
+        "EXP-COHER — CF vs broadcast coherency",
+        out["rows"],
+        ["systems", "cf_cpu_ms", "bcast_cpu_ms", "cf_tput", "bcast_tput",
+         "cf_p95_ms", "bcast_p95_ms", "bcast_inval_msgs"],
+    )
+    problems = check_shape(out["rows"])
+    assert not problems, problems
+    rows = {r["systems"]: r for r in out["rows"]}
+    # broadcast cost per txn roughly doubles from 2 to 12 systems
+    assert rows[12]["bcast_cpu_ms"] > 1.6 * rows[2]["bcast_cpu_ms"]
+    # CF cost stays within ~10%
+    assert rows[12]["cf_cpu_ms"] < 1.10 * rows[2]["cf_cpu_ms"]
+    # at 12 systems the CF cluster out-delivers broadcast by >1.5x
+    assert rows[12]["cf_tput"] > 1.5 * rows[12]["bcast_tput"]

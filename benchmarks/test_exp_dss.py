@@ -1,0 +1,22 @@
+"""ABL-DSS — §2.3: decision-support query decomposition speedup."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_dss import check_shape, run_dss
+
+
+def test_dss_parallel_speedup(benchmark):
+    out = run_once(benchmark, run_dss, scan_pages=30_000)
+    print_rows(
+        "ABL-DSS — parallel query speedup",
+        out["rows"],
+        ["parallelism", "elapsed_s", "speedup", "efficiency"],
+    )
+    problems = check_shape(out["rows"])
+    assert not problems, problems
+    by = {r["parallelism"]: r for r in out["rows"]}
+    # near-linear in the early region
+    assert by[2]["speedup"] > 1.8
+    assert by[8]["speedup"] > 5.0
+    # coordination overhead shows: efficiency declines by 32-way split
+    assert by[32]["efficiency"] < by[2]["efficiency"]

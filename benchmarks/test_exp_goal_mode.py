@@ -1,0 +1,28 @@
+"""EXP-GOAL — §2.1/§5.1: WLM goal protection under mixed workloads."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_goal_mode import run_goal_mode
+
+
+def test_wlm_goal_protection(benchmark):
+    out = run_once(benchmark, run_goal_mode, duration=1.0)
+    print_rows(
+        "EXP-GOAL — WLM goal protection",
+        out["rows"],
+        ["case", "oltp_tput", "oltp_p95_ms", "oltp_pi", "queries_done",
+         "query_s"],
+    )
+    by = {r["case"]: r for r in out["rows"]}
+    alone = by["oltp-alone"]
+    equal = by["batch-equal-priority"]
+    goal = by["batch-wlm-goal-mode"]
+    # unmanaged batch hurts the OLTP goal badly
+    assert equal["oltp_pi"] > 1.3
+    # goal mode restores OLTP throughput to (near) solo level ...
+    assert goal["oltp_tput"] > 0.95 * alone["oltp_tput"]
+    # ... and recovers most of the response-time damage
+    assert goal["oltp_p95_ms"] < 0.8 * equal["oltp_p95_ms"]
+    assert goal["oltp_pi"] < equal["oltp_pi"]
+    # while the queries still make progress on leftover capacity
+    assert goal["queries_done"] >= 1

@@ -1,0 +1,27 @@
+"""EXP-GROW — §2.4: non-disruptive growth vs repartitioning outage."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_growth import run_growth
+
+
+def test_growth_non_disruptive(benchmark):
+    out = run_once(benchmark, run_growth, window=0.3)
+    print_rows(
+        "EXP-GROW — adding a system mid-run",
+        out["timeline"],
+        ["t", "sysplex_tput", "newcomer_util", "partitioned_tput"],
+    )
+    s = out["summary"]
+    print(f"\nsummary: {s}")
+    # the sysplex never stops serving while the system joins
+    assert s["sysplex_min_tput"] > 0
+    # the newcomer is pulling real load by the end (WLM ramp, §2.4)
+    assert s["newcomer_final_util"] is not None
+    assert s["newcomer_final_util"] > 0.2
+    # the partitioned baseline pays a repartitioning outage and loses work
+    assert s["repartition_window_s"] > 0
+    assert s["partitioned_lost_txns"] > 0
+    # during/after the move, the partitioned cluster dips far below the
+    # sysplex's worst window
+    assert s["partitioned_min_tput_after_add"] < 0.7 * s["sysplex_min_tput"]

@@ -1,0 +1,26 @@
+"""EXP-LIST — §3.3.3: shared CF work queue vs static assignment."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_listqueue import run_listqueue
+
+
+def test_shared_list_work_queue(benchmark):
+    out = run_once(benchmark, run_listqueue, duration=0.4, warmup=0.3)
+    print_rows(
+        "EXP-LIST — shared CF work queue vs static assignment",
+        out["rows"],
+        ["distribution", "throughput", "mean_rt_ms", "p95_ms",
+         "util_spread", "transitions_signalled"],
+    )
+    by = {r["distribution"]: r for r in out["rows"]}
+    shared, static = by["shared-cf-list"], by["static-local"]
+    # with one front-end, static assignment strands three systems
+    assert static["util_spread"] > 0.6
+    assert shared["util_spread"] < 0.4
+    # the shared queue delivers at least double the throughput ...
+    assert shared["throughput"] > 2 * static["throughput"]
+    # ... at a fraction of the response time
+    assert shared["p95_ms"] < 0.5 * static["p95_ms"]
+    # and the list-transition machinery was actually exercised
+    assert shared["transitions_signalled"] > 0

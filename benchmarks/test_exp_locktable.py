@@ -1,0 +1,38 @@
+"""EXP-LOCK — §3.3.1: false contention vs table size; microsecond grants."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_locktable import (
+    run_grant_latency,
+    run_locktable_sweep,
+)
+
+
+def test_false_contention_vs_table_size(benchmark):
+    out = run_once(benchmark, run_locktable_sweep,
+                   duration=0.4, warmup=0.3)
+    print_rows(
+        "EXP-LOCK — false contention vs lock-table size",
+        out["rows"],
+        ["lock_table_entries", "requests", "false_pct", "real_pct",
+         "throughput", "p95_ms"],
+    )
+    rows = out["rows"]
+    # false contention falls monotonically (weakly) with table size ...
+    falses = [r["false_pct"] for r in rows]
+    assert all(b <= a + 0.2 for a, b in zip(falses, falses[1:])), falses
+    # ... from double digits at 256 entries to ~zero at the product size
+    assert falses[0] > 5.0
+    assert falses[-1] < 0.1
+    # real contention is a property of the workload, not the table
+    reals = [r["real_pct"] for r in rows]
+    assert max(reals) - min(reals) < 2.0
+
+
+def test_sync_grant_latency_is_microseconds(benchmark):
+    out = run_once(benchmark, run_grant_latency)
+    s = out["summary"]
+    print(f"\ngrant latency: {s}")
+    assert s["n"] > 100
+    assert s["mean_us"] < 100.0  # "measured in micro-seconds"
+    assert s["all_microseconds"]

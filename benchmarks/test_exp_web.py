@@ -1,0 +1,30 @@
+"""EXP-WEB — §6 future work: TCP/IP single system image (Sysplex
+Distributor) vs DNS round-robin under a backend loss."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.exp_web import run_web
+
+
+def test_web_single_system_image(benchmark):
+    out = run_once(benchmark, run_web, duration=1.8)
+    print_rows(
+        "EXP-WEB — connection placement under a backend loss",
+        out["rows"],
+        ["scheme", "killed", "requests_per_s", "p95_ms", "conns_refused",
+         "conns_broken", "takeovers"],
+    )
+    by = {r["scheme"]: r for r in out["rows"]}
+    dns = by["dns-round-robin"]
+    sd = by["sysplex-distributor"]
+    dk = by["distributor-killed"]
+    # DNS keeps handing out the dead address until the TTL expires
+    assert dns["conns_refused"] > 50
+    # the distributor routes around the dead backend instantly
+    assert sd["conns_refused"] == 0
+    assert sd["requests_per_s"] > dns["requests_per_s"]
+    # killing the distributor itself triggers exactly one VIPA takeover
+    # and service continues
+    assert dk["takeovers"] == 1
+    assert dk["conns_refused"] == 0
+    assert dk["requests_per_s"] > 0.6 * sd["requests_per_s"]

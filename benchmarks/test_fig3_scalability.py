@@ -1,0 +1,31 @@
+"""FIG3 — Figure 3: effective vs physical capacity (IDEAL / TCMP / Sysplex)."""
+
+from conftest import run_once
+from repro.experiments.fig3_scalability import check_shape, run_fig3
+from repro.experiments.common import print_rows
+
+
+def test_fig3_scalability(benchmark):
+    series = run_once(
+        benchmark, run_fig3,
+        tcmp_points=(1, 2, 4, 6, 8, 10),
+        plex_points=(1, 2, 4, 8, 16, 24, 32),
+        duration=0.4, warmup=0.3,
+    )
+    for name in ("tcmp", "sysplex"):
+        print_rows(
+            f"Figure 3 — {name.upper()}", series[name],
+            ["physical", "effective", "efficiency", "itr_effective",
+             "itr_efficiency", "throughput", "util"],
+        )
+    problems = check_shape(series)
+    assert not problems, problems
+
+    tcmp = {r["physical"]: r for r in series["tcmp"]}
+    plex = {r["physical"]: r for r in series["sysplex"]}
+    # the TCMP tops out around 7-8 effective engines at 10-way
+    assert 6.0 <= tcmp[10]["itr_effective"] <= 8.5
+    # the 32-way sysplex delivers over 3x the largest TCMP
+    assert plex[32]["itr_effective"] > 3 * tcmp[10]["itr_effective"]
+    # near-linear: 32-way ITR efficiency within 12 points of the 2-way's
+    assert plex[32]["itr_efficiency"] > plex[2]["itr_efficiency"] - 0.12

@@ -1,0 +1,32 @@
+"""TAB1 — §4's measured claims: <18% sharing transition, <0.5%/system."""
+
+from conftest import run_once
+from repro.experiments.common import print_rows
+from repro.experiments.tab1_overhead import run_tab1
+
+
+def test_tab1_data_sharing_overhead(benchmark):
+    out = run_once(benchmark, run_tab1,
+                   sweep=(2, 4, 8, 16, 24, 32), duration=0.4, warmup=0.3)
+    print_rows(
+        "Table 1 — cost of data sharing",
+        out["rows"],
+        ["systems", "sharing", "cpu_ms_per_txn", "overhead_vs_base_pct",
+         "incremental_pct_per_system", "throughput"],
+    )
+    s = out["summary"]
+    print(
+        f"\n1->2 transition {s['transition_cost_pct']:.1f}% (paper <18%); "
+        f"per-system {s['mean_incremental_pct_per_system']:.2f}% "
+        f"(paper <0.5%)"
+    )
+    # the transition cost is a one-time, sub-linear hit: same order as the
+    # paper's <18% (we accept up to 25% — our workload profile is close to
+    # but not identical to the unpublished CICS/DBCTL testbed)
+    assert 5.0 < s["transition_cost_pct"] < 25.0
+    # incremental cost per added system is well under 1%
+    assert abs(s["mean_incremental_pct_per_system"]) < 1.0
+    # and the 32-way's total overhead stays close to the 2-way's
+    by_n = {r["systems"]: r for r in out["rows"]}
+    assert (by_n[32]["overhead_vs_base_pct"]
+            < by_n[2]["overhead_vs_base_pct"] + 10.0)

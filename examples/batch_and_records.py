@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Batch and keyed records: JES multi-access spool + VSAM record sharing.
+
+Two of the paper's §5 exploiters in one script:
+
+* a shared batch job queue (JES2-style checkpoint in a CF list
+  structure) drained by initiators on every system, surviving a member
+  failure with exactly-once job completion;
+* a VSAM dataset shared with record-level locks, showing two systems
+  updating different records of the same control interval concurrently.
+
+Run:  python examples/batch_and_records.py
+"""
+
+from repro.cf import ListStructure
+from repro.config import DatabaseConfig, SysplexConfig
+from repro.hardware import DasdDevice
+from repro.runner import build_loaded_sysplex
+from repro.subsystems import (
+    BatchJob,
+    JesMember,
+    JesSpool,
+    LogManager,
+    VsamCatalog,
+    VsamRls,
+)
+
+
+def batch_demo() -> None:
+    print("=== JES multi-access spool ===")
+    cfg = SysplexConfig(n_systems=3,
+                        db=DatabaseConfig(n_pages=6000, buffer_pages=2000))
+    plex, _ = build_loaded_sysplex(cfg, mode="closed",
+                                   terminals_per_system=0)
+    spool = JesSpool(n_members=3)
+    plex.xes.allocate(ListStructure("JESCKPT", n_headers=spool.n_headers))
+    members = [
+        JesMember(plex.sim, inst.node, plex.farm, spool,
+                  plex.xes.connect(inst.node, "JESCKPT"), i,
+                  {"A": 2}, plex.streams.stream(f"jes{i}"))
+        for i, inst in enumerate(plex.instances.values())
+    ]
+    jobs = [BatchJob(job_id=i, cpu_seconds=0.08, io_count=3)
+            for i in range(24)]
+
+    def submit():
+        for job in jobs:
+            yield from members[0].submit(job)
+
+    plex.sim.process(submit())
+    # SYS02 dies mid-batch; a peer requeues its parked jobs
+    plex.sim.call_at(0.4, plex.nodes[2].fail)
+
+    def recover():
+        yield plex.sim.timeout(0.6)
+        n = yield from members[0].recover_member(dead_index=2)
+        print(f"  t=1.0s: SYS02 died; {n} parked job(s) requeued by a peer")
+
+    plex.sim.process(recover())
+    plex.sim.run(until=15)
+    print(f"  jobs submitted {spool.submitted}, completed {spool.completed} "
+          f"(exactly once each: {all(j.runs >= 1 for j in jobs)})")
+    print(f"  ran per system: "
+          f"{[m.jobs_run for m in members]} — shared spool, shared work")
+    print(f"  mean turnaround {spool.turnaround.mean * 1e3:.0f} ms\n")
+
+
+def vsam_demo() -> None:
+    print("=== VSAM record-level sharing ===")
+    cfg = SysplexConfig(n_systems=2,
+                        db=DatabaseConfig(n_pages=6000, buffer_pages=2000))
+    plex, _ = build_loaded_sysplex(cfg, mode="closed",
+                                   terminals_per_system=0)
+    catalog = VsamCatalog(first_page=1_000_000)
+    catalog.define("ACCOUNTS", max_cis=200, records_per_ci=20)
+    rls = []
+    for i, inst in enumerate(plex.instances.values()):
+        dev = DasdDevice(plex.sim, cfg.dasd,
+                         plex.streams.stream(f"vl{i}"), f"vl{i}")
+        log = LogManager(plex.sim, inst.node, cfg.db, dev)
+        rls.append(VsamRls(plex.sim, inst.node, catalog, inst.lockmgr,
+                           inst.buffers, log))
+
+    trace = []
+
+    def scenario():
+        # seed two records that land in the same control interval
+        yield from rls[0].put("seed", "ACCOUNTS", 100)
+        yield from rls[0].put("seed", "ACCOUNTS", 101)
+        yield from rls[0].commit("seed")
+        trace.append(f"  records 100,101 share CI "
+                     f"{catalog.lookup('ACCOUNTS').ci_for(100)}")
+
+        done = []
+
+        def updater(i, key):
+            yield from rls[i].put(f"t{i}", "ACCOUNTS", key)
+            done.append((i, key, plex.sim.now))
+            yield plex.sim.timeout(0.02)  # hold across the other's update
+            yield from rls[i].commit(f"t{i}")
+
+        p1 = plex.sim.process(updater(0, 100))
+        p2 = plex.sim.process(updater(1, 101))
+        yield plex.sim.all_of([p1, p2])
+        t0 = next(t for i, k, t in done if k == 100)
+        t1 = next(t for i, k, t in done if k == 101)
+        trace.append(f"  SYS00 locked record 100 at {1e3 * t0:.2f} ms, "
+                     f"SYS01 locked record 101 at {1e3 * t1:.2f} ms")
+        trace.append(f"  concurrent (record locks): "
+                     f"{abs(t0 - t1) < 0.015}")
+
+    plex.sim.process(scenario())
+    plex.sim.run(until=5)
+    for line in trace:
+        print(line)
+    print("  under CI/page locking those updates would have serialized "
+          "for the full transaction\n")
+
+
+if __name__ == "__main__":
+    batch_demo()
+    vsam_demo()

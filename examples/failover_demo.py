@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Failover demo: kill a system mid-run and watch the sysplex carry on.
+
+Shows the paper's §2.5 machinery end to end: heartbeat detection, SFM
+fencing, retained locks protecting in-flight updates, ARM restarting the
+failed database instance on a healthy system, peer recovery releasing the
+retained locks, and WLM redistributing the dead system's share of the
+workload — all while transactions keep completing.
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro import ArmConfig, CpuConfig, SysplexConfig, XcfConfig
+from repro.config import DatabaseConfig
+from repro.runner import build_loaded_sysplex
+
+
+def main() -> None:
+    config = SysplexConfig(
+        n_systems=3,
+        cpu=CpuConfig(n_cpus=1),
+        db=DatabaseConfig(n_pages=60_000),
+        xcf=XcfConfig(heartbeat_interval=0.25),
+        arm=ArmConfig(restart_time=0.5, log_replay_time=0.3),
+        n_dasd=48,
+        seed=7,
+    )
+    plex, gen = build_loaded_sysplex(
+        config, mode="open", offered_tps_per_system=180.0,
+        router_policy="wlm",
+    )
+    victim = plex.nodes[2]
+    fail_at = 1.0
+    plex.sim.call_at(fail_at, victim.fail)
+
+    counter = plex.metrics.counter("txn.completed")
+    print(f"3-system sysplex, {victim.name} dies at t={fail_at:.1f}s\n")
+    print(f"{'t':>5}  {'tput':>6}  {'alive':<18} events")
+    prev = 0
+    window = 0.25
+    milestones = {}
+    for k in range(1, 25):
+        t = k * window
+        plex.sim.run(until=t)
+        completed = counter.count
+        alive = ",".join(n.name for n in plex.nodes if n.alive)
+        events = []
+        if plex.monitor.detection_log and "detected" not in milestones:
+            when, name = plex.monitor.detection_log[0]
+            if when <= t:
+                milestones["detected"] = when
+                events.append(f"<- {name} status-missing, fenced (SFM)")
+        if plex.arm.restart_log and "restarted" not in milestones:
+            when, name, target = plex.arm.restart_log[0]
+            if when <= t:
+                milestones["restarted"] = when
+                events.append(f"<- ARM restarted {name} on {target}")
+        if plex.recovery.recoveries and "recovered" not in milestones:
+            when, sysname, nlocks = plex.recovery.recoveries[0]
+            if when <= t:
+                milestones["recovered"] = when
+                events.append(
+                    f"<- peer recovery done: {nlocks} retained locks freed"
+                )
+        print(f"{t:5.2f}  {(completed - prev) / window:6.0f}  "
+              f"{alive:<18} {' '.join(events)}")
+        prev = completed
+
+    print("\nmilestones:")
+    print(f"  failure   at t={fail_at:.2f}s")
+    for name in ("detected", "restarted", "recovered"):
+        if name in milestones:
+            print(f"  {name:<9} at t={milestones[name]:.2f}s "
+                  f"(+{milestones[name] - fail_at:.2f}s)")
+    lost = plex.metrics.counter("txn.failed").count
+    print(f"\ntransactions lost across the whole outage: {lost}")
+    print("the surviving systems absorbed the load; "
+          "no restart of the workload was needed")
+
+
+if __name__ == "__main__":
+    main()

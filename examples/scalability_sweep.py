@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A miniature Figure 3: TCMP vs Parallel Sysplex scalability.
+
+Measures effective capacity (ITR-normalized saturated throughput) for a
+tightly coupled multiprocessor growing 1->10 engines and a Parallel
+Sysplex growing 1->16 single-engine systems, and draws the paper's
+Figure 3 as ASCII art.
+
+Run:  python examples/scalability_sweep.py        (~1 minute)
+"""
+
+from repro.experiments.common import scaled_config
+from repro.runner import run_oltp
+
+
+def measure(points, sysplex: bool):
+    rows = []
+    base = None
+    for p in points:
+        cfg = (scaled_config(p, 1, data_sharing=p > 1)
+               if sysplex else scaled_config(1, p, data_sharing=False))
+        r = run_oltp(cfg, duration=0.4, warmup=0.3)
+        itr = r.throughput / max(r.mean_utilization, 1e-9)
+        if base is None and p == 1:
+            base = itr
+        rows.append((p, itr))
+    return [(p, itr / base) for p, itr in rows]
+
+
+def main() -> None:
+    print("measuring TCMP points (1 system, n engines)...")
+    tcmp = measure((1, 2, 4, 6, 8, 10), sysplex=False)
+    print("measuring Parallel Sysplex points (n systems, 1 engine each)...")
+    plex = measure((1, 2, 4, 8, 12, 16), sysplex=True)
+
+    width, height = 52, 18
+    max_x = 16
+    max_y = 16.0
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+
+    def plot(x, y, ch):
+        col = round(x / max_x * width)
+        row = height - round(min(y, max_y) / max_y * height)
+        if grid[row][col] == " " or ch == "S":
+            grid[row][col] = ch
+
+    for x in range(1, max_x + 1):
+        plot(x, x, ".")  # IDEAL
+    for p, eff in tcmp:
+        plot(p, eff, "T")
+    for p, eff in plex:
+        plot(p, eff, "S")
+
+    print("\n  effective capacity (engines)      . ideal   T TCMP   S sysplex")
+    for row in grid:
+        print("  |" + "".join(row))
+    print("  +" + "-" * width + "-> physical capacity (engines)")
+
+    print("\n  TCMP   :", "  ".join(f"{p}:{e:.1f}" for p, e in tcmp))
+    print("  Sysplex:", "  ".join(f"{p}:{e:.1f}" for p, e in plex))
+    print("\nthe TCMP curve bends (MP effect); the sysplex stays near-"
+          "linear after the one-time data-sharing cost — Figure 3's shape")
+
+
+if __name__ == "__main__":
+    main()

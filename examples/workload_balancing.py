@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Workload balancing: data sharing vs data partitioning under a moving
+demand hotspot (paper §2.3).
+
+A four-way cluster is driven with constant total load whose *shape*
+shifts: every 300ms a different user population surges.  The shared-
+nothing baseline must run each surge on the one system that owns that
+population's data; the Parallel Sysplex lets WLM spread the same surge
+across every system.
+
+Run:  python examples/workload_balancing.py
+"""
+
+from repro.experiments.exp_balancing import run_balancing
+
+
+def main() -> None:
+    print("driving a rotating demand hotspot at both architectures "
+          "(equal total load)...\n")
+    out = run_balancing(n_systems=4, offered_per_system=220.0,
+                        spike_factor=3.0, duration=1.2, warmup=0.4)
+
+    print(f"{'architecture':<20}{'tput':>8}{'mean rt':>10}{'p95':>10}"
+          f"{'util spread':>13}")
+    for r in out["rows"]:
+        print(f"{r['architecture']:<20}{r['throughput']:>8.0f}"
+              f"{r['mean_rt_ms']:>9.1f}m{r['p95_ms']:>9.1f}m"
+              f"{r['util_spread']:>13.3f}")
+
+    by = {r["architecture"]: r for r in out["rows"]}
+    gain = by["partitioned"]["p95_ms"] / by["sysplex-wlm"]["p95_ms"]
+    print(f"\nthe WLM-balanced sysplex delivers ~{gain:.1f}x better p95 "
+          f"than the partitioned cluster at identical offered load —")
+    print("the partitioned system saturates whichever node owns the hot "
+          "data while its peers idle (its util spread above).")
+
+
+if __name__ == "__main__":
+    main()

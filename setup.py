@@ -1,0 +1,5 @@
+"""Legacy shim: the environment's setuptools (65.x, no `wheel`) cannot do
+PEP-660 editable installs, so `pip install -e .` falls back to this."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — a behavioural reproduction of the IBM S/390 Parallel Sysplex.
+
+A discrete-event simulation library implementing the architecture of
+Nick, Chung & Bowen, "Overview of IBM System/390 Parallel Sysplex — A
+Commercial Parallel Processing System" (IPPS 1996): the Coupling Facility
+(lock / cache / list structures), the MVS multi-system services (XCF,
+couple data sets, heartbeat + SFM fencing, XES, WLM, ARM), the exploiting
+subsystems (global lock manager, coherent buffer manager, database and
+transaction managers, VTAM generic resources), the shared-nothing
+baseline the paper argues against, and the workloads/benchmarks that
+reproduce its Figure 3 and §4 overhead claims.
+
+Quickstart::
+
+    from repro import SysplexConfig, CpuConfig, run_oltp
+
+    cfg = SysplexConfig(n_systems=4, cpu=CpuConfig(n_cpus=2))
+    result = run_oltp(cfg, duration=1.0)
+    print(result.row())
+"""
+
+from .config import (
+    ArmConfig,
+    CfConfig,
+    CpuConfig,
+    DasdConfig,
+    DatabaseConfig,
+    LinkConfig,
+    OltpConfig,
+    SysplexConfig,
+    WlmConfig,
+    XcfConfig,
+    quick_sysplex,
+)
+from .metrics import RunResult, scalability_table
+from .runner import build_loaded_sysplex, run_oltp
+from .sysplex import Instance, Sysplex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArmConfig",
+    "CfConfig",
+    "CpuConfig",
+    "DasdConfig",
+    "DatabaseConfig",
+    "Instance",
+    "LinkConfig",
+    "OltpConfig",
+    "RunResult",
+    "Sysplex",
+    "SysplexConfig",
+    "WlmConfig",
+    "XcfConfig",
+    "build_loaded_sysplex",
+    "quick_sysplex",
+    "run_oltp",
+    "scalability_table",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Baseline architectures the paper argues against: shared-nothing
+data-partitioning (§2.3) and message-broadcast data sharing (§3.3)."""
+
+from .broadcast import BroadcastCluster
+from .partitioned import PartitionedCluster
+
+__all__ = ["BroadcastCluster", "PartitionedCluster"]

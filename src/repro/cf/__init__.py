@@ -1,0 +1,28 @@
+"""Coupling Facility: lock, cache, and list structure models plus the
+command-execution cost machinery (paper §3.3)."""
+
+from .cache import CacheFullError, CacheStructure, LocalVector
+from .commands import CfPort
+from .facility import CfFailedError, CouplingFacility, StructureExistsError
+from .list import ListEntry, ListStructure, LockHeldError
+from .lock import GrantResult, LockMode, LockStructure
+from .structure import Connector, Structure, StructureFailedError
+
+__all__ = [
+    "CacheFullError",
+    "CacheStructure",
+    "CfFailedError",
+    "CfPort",
+    "Connector",
+    "CouplingFacility",
+    "GrantResult",
+    "ListEntry",
+    "ListStructure",
+    "LocalVector",
+    "LockHeldError",
+    "LockMode",
+    "LockStructure",
+    "Structure",
+    "StructureExistsError",
+    "StructureFailedError",
+]

@@ -1,0 +1,115 @@
+"""Issuing CF commands from a system: the cost model of §3.3.
+
+``CfPort`` binds one system to one Coupling Facility over a LinkSet and
+executes structure operations with the paper's cost semantics:
+
+* **Synchronous** — the issuing CPU *spins* for the whole round trip
+  (engine held; no task switch, no cache disruption).  Round trip =
+  issue CPU + 2x link latency + transfer + CF processor service
+  (+ signal-completion wait for invalidating commands).  "Completion
+  times measured in micro-seconds."
+* **Asynchronous** — the engine is released during the trip, but the
+  requester pays ``async_extra_cpu`` afterwards for task switching and
+  processor cache disruption — exactly the overhead the paper says
+  synchronous execution avoids.  ABL-SYNC quantifies this trade.
+
+The actual structure mutation runs at the CF at command-execution time,
+passed in as a plain closure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..config import CfConfig
+from ..hardware.links import LinkSet
+from ..hardware.system import SystemNode, SystemDown
+from .facility import CouplingFacility
+
+__all__ = ["CfPort"]
+
+
+class CfPort:
+    """One system's command path to one Coupling Facility."""
+
+    def __init__(self, node: SystemNode, cf: CouplingFacility,
+                 links: LinkSet, config: CfConfig):
+        self.node = node
+        self.cf = cf
+        self.links = links
+        self.config = config
+        self.sim = node.sim
+        self.sync_ops = 0
+        self.async_ops = 0
+
+    # -- internals ----------------------------------------------------------
+    def _service(self, fn: Callable[[], Any], data: bool, signal_wait: bool,
+                 box: list, service_factor: float = 1.0) -> Generator:
+        svc = service_factor * self.config.cmd_service + (
+            self.config.data_cmd_service if data else 0.0
+        )
+        yield from self.cf.execute(svc)
+        box.append(fn())
+        if signal_wait:
+            # CF responds only after observing signal completion (§3.3.2)
+            yield self.sim.timeout(self.config.signal_latency)
+
+    # -- synchronous --------------------------------------------------------
+    def sync(self, fn: Callable[[], Any], out_bytes: int = 64,
+             in_bytes: int = 64, data: bool = False,
+             signal_wait: bool = False, service_factor: float = 1.0) -> Generator:
+        """Process step: execute ``fn`` at the CF CPU-synchronously.
+
+        Returns ``fn()``'s result.  The issuing engine is held (spinning)
+        for the entire round trip.
+        """
+        if not self.node.alive:
+            raise SystemDown(self.node.name)
+        cpu = self.node.cpu
+        box: list = []
+        req = cpu.engines.request()
+        try:
+            yield req
+            start = self.sim.now
+            # command build / response handling path length (MP-inflated)
+            yield self.sim.timeout(
+                self.config.sync_issue_cpu * cpu.config.inflation()
+            )
+            link = self.links.pick()
+            yield from link.occupy(
+                out_bytes, in_bytes,
+                self._service(fn, data, signal_wait, box, service_factor),
+            )
+            cpu.busy_seconds += self.sim.now - start
+        finally:
+            req.cancel()
+        self.sync_ops += 1
+        return box[0]
+
+    # -- asynchronous ----------------------------------------------------------
+    def async_(self, fn: Callable[[], Any], out_bytes: int = 64,
+               in_bytes: int = 64, data: bool = False,
+               signal_wait: bool = False,
+               service_factor: float = 1.0) -> Generator:
+        """Process step: execute ``fn`` asynchronously.
+
+        The engine is free during the link round trip, but completion costs
+        ``async_extra_cpu`` (task switch + cache disruption).
+        """
+        if not self.node.alive:
+            raise SystemDown(self.node.name)
+        cpu = self.node.cpu
+        box: list = []
+        yield from cpu.consume(self.config.sync_issue_cpu)
+        link = self.links.pick()
+        yield from link.occupy(
+            out_bytes, in_bytes,
+            self._service(fn, data, signal_wait, box, service_factor),
+        )
+        yield from cpu.consume(self.config.async_extra_cpu)
+        self.async_ops += 1
+        return box[0]
+
+    @property
+    def operational(self) -> bool:
+        return (not self.cf.failed) and self.links.operational

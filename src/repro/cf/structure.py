@@ -1,0 +1,75 @@
+"""Base machinery shared by the three CF structure models.
+
+"CF storage resources can be dynamically partitioned and allocated into CF
+'structures', subscribing to one of three defined behavior models: lock,
+cache, and list" (paper §3.3).  Connectors are the per-system subsystem
+instances (e.g. one IRLM per MVS image) attached to a structure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["Structure", "Connector", "StructureFailedError"]
+
+
+class StructureFailedError(Exception):
+    """Raised when a command targets a structure in a failed CF."""
+
+
+class Connector:
+    """One system's connection to one structure."""
+
+    __slots__ = ("conn_id", "system_name", "on_loss", "active")
+
+    def __init__(self, conn_id: int, system_name: str,
+                 on_loss: Optional[Callable[[], None]] = None):
+        self.conn_id = conn_id
+        self.system_name = system_name
+        self.on_loss = on_loss  # called if the structure's CF fails
+        self.active = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Connector {self.conn_id}@{self.system_name}>"
+
+
+class Structure:
+    """Common connector registry and failure propagation."""
+
+    #: subclasses set: "lock" | "cache" | "list"
+    model = "base"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.facility = None  # set by CouplingFacility.allocate
+        self.connectors: Dict[int, Connector] = {}
+        self._next_conn = 0
+        self.lost = False
+
+    def connect(self, system_name: str,
+                on_loss: Optional[Callable[[], None]] = None) -> Connector:
+        """Attach a new connector for ``system_name``."""
+        self._check()
+        conn = Connector(self._next_conn, system_name, on_loss)
+        self._next_conn += 1
+        self.connectors[conn.conn_id] = conn
+        return conn
+
+    def disconnect(self, conn: Connector) -> None:
+        conn.active = False
+        self.connectors.pop(conn.conn_id, None)
+        self._purge_connector(conn)
+
+    def _purge_connector(self, conn: Connector) -> None:
+        """Subclasses drop per-connector state (interest, registrations)."""
+
+    def on_facility_failed(self) -> None:
+        """The owning CF died: notify every connector (loss of structure)."""
+        self.lost = True
+        for conn in list(self.connectors.values()):
+            if conn.on_loss is not None:
+                conn.on_loss()
+
+    def _check(self) -> None:
+        if self.lost or (self.facility is not None and self.facility.failed):
+            raise StructureFailedError(self.name)

@@ -1,0 +1,64 @@
+"""Run every experiment and print every table:
+
+    python -m repro.experiments            # quick settings (~10 min)
+    python -m repro.experiments --full     # longer, lower-variance runs
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    abl_granularity,
+    abl_links,
+    abl_sync_async,
+    exp_availability,
+    exp_balancing,
+    exp_cf_failover,
+    exp_coherency,
+    exp_dss,
+    exp_generic_resources,
+    exp_goal_mode,
+    exp_growth,
+    exp_listqueue,
+    exp_locktable,
+    exp_web,
+    fig3_scalability,
+    tab1_overhead,
+)
+
+ALL = (
+    fig3_scalability,
+    tab1_overhead,
+    exp_balancing,
+    exp_availability,
+    exp_cf_failover,
+    exp_locktable,
+    exp_coherency,
+    exp_growth,
+    exp_listqueue,
+    exp_generic_resources,
+    exp_goal_mode,
+    exp_web,
+    abl_sync_async,
+    abl_links,
+    abl_granularity,
+    exp_dss,
+)
+
+
+def main() -> None:
+    quick = "--full" not in sys.argv
+    t0 = time.time()
+    for mod in ALL:
+        print("\n" + "#" * 72)
+        print("#", mod.__name__)
+        print("#" * 72)
+        mod.main(quick=quick)
+    print(f"\nall {len(ALL)} experiments done in {time.time() - t0:.0f}s "
+          f"({'quick' if quick else 'full'} settings)")
+
+
+if __name__ == "__main__":
+    main()

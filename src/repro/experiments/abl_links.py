@@ -1,0 +1,63 @@
+"""ABL-LINK — ablation: 50 vs 100 MB/s coupling links (§3.3).
+
+"The coupling links are fiber-optic channels providing either 50
+MegaBytes/second or 100 MB/second data transfer rates."  Link bandwidth
+matters most for data-carrying commands (4K page writes to the group
+buffer pool, CF refresh reads) whose transfer time the issuing CPU spins
+through.  We run the OLTP workload at both speeds, plus a hypothetical
+500 MB/s point, and report the data-sharing CPU tax at each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import LinkConfig
+from ..runner import run_oltp
+from .common import QUICK, print_rows, scaled_config
+
+__all__ = ["run_links", "main"]
+
+BANDWIDTHS = (50e6, 100e6, 500e6)
+
+
+def run_links(bandwidths=BANDWIDTHS,
+              duration: float = QUICK["duration"],
+              warmup: float = QUICK["warmup"],
+              seed: int = 1) -> Dict:
+    base = run_oltp(scaled_config(1, 1, data_sharing=False, seed=seed),
+                    duration=duration, warmup=warmup)
+    base_cpu = base.mean_utilization * base.duration / max(base.completed, 1)
+    rows: List[dict] = []
+    for bw in bandwidths:
+        config = scaled_config(2, seed=seed, link=LinkConfig(bandwidth=bw))
+        r = run_oltp(config, duration=duration, warmup=warmup,
+                     label=f"{bw / 1e6:.0f}MBs")
+        cpu = r.mean_utilization * 2 * r.duration / max(r.completed, 1)
+        rows.append(
+            {
+                "link_MB_per_s": bw / 1e6,
+                "page_transfer_us": 1e6 * 4096 / bw,
+                "cpu_ms_per_txn": 1e3 * cpu,
+                "ds_tax_pct": 100 * (cpu / base_cpu - 1),
+                "throughput": r.throughput,
+                "p95_ms": 1e3 * r.response_p95,
+            }
+        )
+    return {"rows": rows}
+
+
+def main(quick: bool = True) -> Dict:
+    kw = QUICK if quick else {"duration": 1.0, "warmup": 0.5}
+    out = run_links(duration=kw["duration"], warmup=kw["warmup"])
+    print_rows(
+        "ABL-LINK — coupling link bandwidth vs data-sharing cost (2-way)",
+        out["rows"],
+        ["link_MB_per_s", "page_transfer_us", "cpu_ms_per_txn",
+         "ds_tax_pct", "throughput", "p95_ms"],
+    )
+    return out
+
+
+if __name__ == "__main__":
+    main(quick=False)

@@ -1,0 +1,75 @@
+"""Shared experiment infrastructure.
+
+All experiments follow the TPC discipline for capacity runs: the database
+(and the DASD farm behind it) scales with the configuration under test,
+so the curves measure the architecture, not a fixed hot spot.  Every
+experiment function returns plain data (lists of dict rows) plus offers a
+``print_rows`` rendering so the benchmark harness output reads like the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import (
+    CpuConfig,
+    DatabaseConfig,
+    SysplexConfig,
+)
+
+__all__ = ["scaled_config", "print_rows", "QUICK", "FULL"]
+
+#: quick settings: used by the pytest-benchmark harness (CI-sized)
+QUICK = {"duration": 0.4, "warmup": 0.3}
+#: full settings: for the standalone scripts
+FULL = {"duration": 1.5, "warmup": 0.8}
+
+
+def scaled_config(n_systems: int, n_cpus: int = 1,
+                  data_sharing: bool = True,
+                  pages_per_engine: int = 25_000,
+                  dasd_per_engine: int = 16,
+                  seed: int = 1,
+                  **overrides) -> SysplexConfig:
+    """A capacity-run configuration scaled to its engine count."""
+    engines = max(2, n_systems * n_cpus)
+    n_cfs = overrides.pop("n_cfs", 1 if data_sharing else 0)
+    return SysplexConfig(
+        n_systems=n_systems,
+        cpu=CpuConfig(n_cpus=n_cpus),
+        db=DatabaseConfig(n_pages=pages_per_engine * engines),
+        n_dasd=dasd_per_engine * engines,
+        data_sharing=data_sharing,
+        n_cfs=n_cfs,
+        seed=seed,
+        **overrides,
+    )
+
+
+def print_rows(title: str, rows: List[dict], columns: List[str]) -> None:
+    """Render rows as a fixed-width table (the bench harness output)."""
+    print(f"\n== {title} ==")
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c)
+        for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)

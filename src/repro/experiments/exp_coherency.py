@@ -1,0 +1,110 @@
+"""EXP-COHER — CF coherency vs. message-broadcast coherency (paper §3.3).
+
+The paper's justification for building the Coupling Facility at all: the
+"fundamental performance obstacles" of data sharing were (1) lock traffic
+and (2) buffer-invalidation broadcasts.  This experiment runs the same
+OLTP workload on
+
+* the CF-based sysplex (cross-invalidation signals: zero target CPU,
+  microsecond locks), and
+* the :class:`BroadcastCluster` (message-based DLM + invalidation
+  broadcast to all N−1 peers),
+
+sweeping N.  Reported per point: CPU ms per transaction (overhead grows
+~O(N) for broadcast, ~flat for the CF), throughput, and p95.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..baselines.broadcast import BroadcastCluster
+from ..runner import run_oltp
+from ..workloads.oltp import OltpGenerator
+from .common import QUICK, print_rows, scaled_config
+
+__all__ = ["run_coherency", "main"]
+
+SWEEP = (2, 4, 8, 12)
+
+
+def _run_broadcast(config, duration, warmup):
+    cluster = BroadcastCluster(config)
+    gen = OltpGenerator(
+        cluster.sim, config.oltp, config.db.n_pages, config.n_systems,
+        cluster.streams.stream("oltp"), router=cluster,
+    )
+    # prewarm the simple version-checked pools
+    hot = gen.sampler.hottest(config.db.buffer_pages)
+    for stack in cluster._stacks:
+        for page in hot:
+            stack["pool"][page] = 0
+            stack["pool_order"].append(page)
+    gen.start_closed_loop(config.oltp.terminals_per_cpu * config.cpu.n_cpus)
+    cluster.sim.run(until=warmup)
+    cluster.reset_measurement()
+    cluster.sim.run(until=warmup + duration)
+    return cluster.collect(f"broadcast-{config.n_systems}")
+
+
+def run_coherency(sweep: Sequence[int] = SWEEP,
+                  duration: float = QUICK["duration"],
+                  warmup: float = QUICK["warmup"],
+                  seed: int = 1) -> Dict:
+    rows: List[dict] = []
+    for n in sweep:
+        cf_cfg = scaled_config(n, seed=seed)
+        r_cf = run_oltp(cf_cfg, duration=duration, warmup=warmup,
+                        label=f"cf-{n}")
+        cpu_cf = (r_cf.mean_utilization * n * r_cf.duration
+                  / max(r_cf.completed, 1))
+
+        bc_cfg = scaled_config(n, data_sharing=False, seed=seed)
+        r_bc = _run_broadcast(bc_cfg, duration, warmup)
+        cpu_bc = (r_bc.mean_utilization * n * r_bc.duration
+                  / max(r_bc.completed, 1))
+
+        rows.append(
+            {
+                "systems": n,
+                "cf_cpu_ms": 1e3 * cpu_cf,
+                "bcast_cpu_ms": 1e3 * cpu_bc,
+                "cf_tput": r_cf.throughput,
+                "bcast_tput": r_bc.throughput,
+                "cf_p95_ms": 1e3 * r_cf.response_p95,
+                "bcast_p95_ms": 1e3 * r_bc.response_p95,
+                "bcast_inval_msgs": r_bc.extras["invalidation_messages"],
+            }
+        )
+    return {"rows": rows}
+
+
+def check_shape(rows: List[dict]) -> List[str]:
+    problems = []
+    # broadcast per-txn CPU must grow materially with N; CF must not
+    if rows[-1]["bcast_cpu_ms"] <= rows[0]["bcast_cpu_ms"] * 1.05:
+        problems.append("broadcast overhead does not grow with N")
+    if rows[-1]["cf_cpu_ms"] > rows[0]["cf_cpu_ms"] * 1.15:
+        problems.append("CF overhead grows too much with N")
+    # at the largest N the CF wins on CPU per transaction
+    if rows[-1]["cf_cpu_ms"] >= rows[-1]["bcast_cpu_ms"]:
+        problems.append("CF does not win at scale")
+    return problems
+
+
+def main(quick: bool = True) -> Dict:
+    kw = QUICK if quick else {"duration": 1.0, "warmup": 0.5}
+    out = run_coherency(duration=kw["duration"], warmup=kw["warmup"])
+    print_rows(
+        "EXP-COHER — CF vs broadcast coherency",
+        out["rows"],
+        ["systems", "cf_cpu_ms", "bcast_cpu_ms", "cf_tput", "bcast_tput",
+         "cf_p95_ms", "bcast_p95_ms", "bcast_inval_msgs"],
+    )
+    problems = check_shape(out["rows"])
+    print("\nshape check:", "OK" if not problems else problems)
+    return out
+
+
+if __name__ == "__main__":
+    main(quick=False)

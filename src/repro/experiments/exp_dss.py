@@ -1,0 +1,90 @@
+"""ABL-DSS — decision-support query parallelism (paper §2.3).
+
+"Parallelism can be attained by breaking up complex queries into smaller
+sub-queries, and distributing the component queries across multiple
+processors (cpu) within a single system or across multiple systems in a
+parallel sysplex."
+
+One large scan query is decomposed at parallelism 1..K across an
+idle 8-system sysplex; we report elapsed time, speedup, and efficiency —
+the expected near-linear region followed by the coordination-bound tail.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..runner import build_loaded_sysplex
+from ..workloads.dss import Query, QuerySplitter
+from .common import print_rows, scaled_config
+
+__all__ = ["run_dss", "main"]
+
+PARALLELISM = (1, 2, 4, 8, 16, 32)
+
+
+def run_dss(n_systems: int = 8,
+            scan_pages: int = 60_000,
+            parallelism: Sequence[int] = PARALLELISM,
+            seed: int = 1) -> Dict:
+    config = scaled_config(n_systems, seed=seed)
+    plex, gen = build_loaded_sysplex(config, mode="closed",
+                                     terminals_per_system=0)
+    splitter = QuerySplitter(plex.sim, plex.nodes, plex.farm, plex.wlm,
+                             config.xcf)
+    elapsed: List[float] = []
+
+    def run_one(p, qid):
+        q = Query(query_id=qid, first_page=0, n_pages=scan_pages)
+        t = yield from splitter.run_query(q, parallelism=p)
+        elapsed.append(t)
+
+    t_base = 0.0
+    rows: List[dict] = []
+    for i, p in enumerate(parallelism):
+        proc = plex.sim.process(run_one(p, i))
+        plex.sim.run(until=proc)
+        t = elapsed[-1]
+        if i == 0:
+            t_base = t
+        speedup = t_base / t if t else 0.0
+        rows.append(
+            {
+                "parallelism": p,
+                "elapsed_s": t,
+                "speedup": round(speedup, 2),
+                "efficiency": round(speedup / p, 3),
+            }
+        )
+    return {"rows": rows}
+
+
+def check_shape(rows: List[dict]) -> List[str]:
+    problems = []
+    speedups = [r["speedup"] for r in rows]
+    if not all(b >= a for a, b in zip(speedups, speedups[1:])):
+        # allow the very last point to flatten, but never regress early
+        if any(b < a * 0.95 for a, b in zip(speedups[:-1], speedups[1:-1])):
+            problems.append(f"speedup regresses: {speedups}")
+    if speedups[-1] < 3.0:
+        problems.append(f"no meaningful parallel speedup: {speedups}")
+    effs = [r["efficiency"] for r in rows]
+    if not all(b <= a + 0.02 for a, b in zip(effs, effs[1:])):
+        problems.append(f"efficiency should decline with parallelism: {effs}")
+    return problems
+
+
+def main(quick: bool = True) -> Dict:
+    out = run_dss(scan_pages=30_000 if quick else 120_000)
+    print_rows(
+        "ABL-DSS — parallel query decomposition speedup (8 systems)",
+        out["rows"],
+        ["parallelism", "elapsed_s", "speedup", "efficiency"],
+    )
+    problems = check_shape(out["rows"])
+    print("\nshape check:", "OK" if not problems else problems)
+    return out
+
+
+if __name__ == "__main__":
+    main(quick=False)

@@ -1,0 +1,131 @@
+"""EXP-GROW — granular, non-disruptive growth (paper §2.4).
+
+Both architectures run at steady load, then a system is added mid-run:
+
+* **Sysplex** — the new member joins non-disruptively; WLM drives work to
+  it "at an increased rate ... until its utilization has reached
+  steady-state".  No repartitioning, no outage.
+* **Partitioned** — the database must be re-balanced across N+1 owners:
+  an offline window proportional to the data moved, exactly the
+  "considerable costs to re-partition the databases" the paper cites.
+
+Reported: throughput timeline across the addition, the newcomer's
+utilization ramp, and the partitioned baseline's outage window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..baselines.partitioned import PartitionedCluster
+from ..runner import build_loaded_sysplex
+from ..workloads.oltp import OltpGenerator
+from .common import print_rows, scaled_config
+
+__all__ = ["run_growth", "main"]
+
+
+def run_growth(n_initial: int = 3,
+               offered_per_system: float = 250.0,
+               window: float = 0.4,
+               seed: int = 1) -> Dict:
+    add_at = 4 * window
+    n_windows = 16
+
+    # --- sysplex ----------------------------------------------------------
+    config = scaled_config(n_initial, seed=seed)
+    plex, gen = build_loaded_sysplex(
+        config, mode="open", offered_tps_per_system=offered_per_system,
+        router_policy="wlm",
+    )
+    counter = plex.metrics.counter("txn.completed")
+    plex_timeline: List[dict] = []
+    prev = 0
+    new_inst = None
+    newcomer_util: List[float] = []
+    for k in range(1, n_windows + 1):
+        plex.sim.run(until=k * window)
+        if new_inst is None and k * window >= add_at:
+            new_inst = plex.add_system()
+            # offered load rises with the new capacity (more users arrive)
+            gen.n_systems = n_initial  # arrivals stay on original streams
+        c = counter.count
+        plex_timeline.append(
+            {
+                "t": round(k * window, 2),
+                "sysplex_tput": (c - prev) / window,
+                "newcomer_util": (
+                    round(plex.wlm.utilization(new_inst.node.name), 3)
+                    if new_inst is not None else None
+                ),
+            }
+        )
+        prev = c
+    sysplex_min = min(w["sysplex_tput"] for w in plex_timeline)
+
+    # --- partitioned ----------------------------------------------------------
+    pconfig = scaled_config(n_initial, data_sharing=False, seed=seed)
+    cluster = PartitionedCluster(pconfig)
+    pgen = OltpGenerator(
+        cluster.sim, pconfig.oltp, pconfig.db.n_pages, n_initial,
+        cluster.streams.stream("oltp"), router=cluster,
+    )
+    hot = pgen.sampler.hottest(pconfig.db.buffer_pages)
+    for stack in cluster._stacks:
+        stack["buffers"].prewarm(hot)
+    pgen.start_open_loop(offered_per_system)
+    pcounter = cluster.metrics.counter("txn.completed")
+    part_timeline: List[dict] = []
+    prev = 0
+    outage = None
+    for k in range(1, n_windows + 1):
+        cluster.sim.run(until=k * window)
+        if outage is None and k * window >= add_at:
+            outage = cluster.add_system()
+        c = pcounter.count
+        part_timeline.append(
+            {
+                "t": round(k * window, 2),
+                "partitioned_tput": (c - prev) / window,
+            }
+        )
+        prev = c
+
+    timeline = [
+        {**a, "partitioned_tput": b["partitioned_tput"]}
+        for a, b in zip(plex_timeline, part_timeline)
+    ]
+    part_min = min(w["partitioned_tput"] for w in part_timeline
+                   if w["t"] > add_at)
+    return {
+        "timeline": timeline,
+        "summary": {
+            "add_at": add_at,
+            "sysplex_min_tput": sysplex_min,
+            "partitioned_min_tput_after_add": part_min,
+            "repartition_window_s": outage,
+            "partitioned_lost_txns": cluster.failed_txns,
+            "newcomer_final_util": plex_timeline[-1]["newcomer_util"],
+        },
+    }
+
+
+def main(quick: bool = True) -> Dict:
+    out = run_growth(window=0.3 if quick else 0.5)
+    print_rows(
+        "EXP-GROW — adding a system mid-run (sysplex vs partitioned)",
+        out["timeline"],
+        ["t", "sysplex_tput", "newcomer_util", "partitioned_tput"],
+    )
+    s = out["summary"]
+    print(
+        f"\nsysplex min tput {s['sysplex_min_tput']:.0f}; partitioned "
+        f"repartition window {s['repartition_window_s']:.2f}s losing "
+        f"{s['partitioned_lost_txns']:.0f} transactions "
+        f"(min tput after add {s['partitioned_min_tput_after_add']:.0f})"
+    )
+    return out
+
+
+if __name__ == "__main__":
+    main(quick=False)

@@ -1,0 +1,105 @@
+"""TAB1 — the cost of data sharing (paper §4's two measured claims).
+
+(a) "the initial data-sharing cost associated with the transition from a
+single-system non-data-sharing configuration to a two-system data-sharing
+configuration was measured at less than 18%"
+
+(b) "an incremental overhead cost of less than half a percent for each
+system added to the configuration"
+
+We measure CPU-seconds per committed transaction (the ITR view the
+measurements in [8,9] used) at each configuration size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..runner import run_oltp
+from .common import QUICK, print_rows, scaled_config
+
+__all__ = ["run_tab1", "main"]
+
+SWEEP = (2, 4, 8, 16, 24, 32)
+
+
+def cpu_per_txn(result, engines: int) -> float:
+    if result.completed == 0:
+        return float("nan")
+    return result.mean_utilization * engines * result.duration / result.completed
+
+
+def run_tab1(sweep: Sequence[int] = SWEEP,
+             duration: float = QUICK["duration"],
+             warmup: float = QUICK["warmup"],
+             seed: int = 1) -> Dict:
+    base = run_oltp(
+        scaled_config(1, 1, data_sharing=False, seed=seed),
+        duration=duration, warmup=warmup, label="1-system no-DS",
+    )
+    base_cpu = cpu_per_txn(base, 1)
+    rows = [
+        {
+            "systems": 1,
+            "sharing": "no",
+            "cpu_ms_per_txn": 1e3 * base_cpu,
+            "overhead_vs_base_pct": 0.0,
+            "throughput": base.throughput,
+        }
+    ]
+    prev_cpu = None
+    prev_n = None
+    increments: List[float] = []
+    for n in sweep:
+        r = run_oltp(
+            scaled_config(n, 1, seed=seed),
+            duration=duration, warmup=warmup, label=f"{n}-system DS",
+        )
+        cpu = cpu_per_txn(r, n)
+        row = {
+            "systems": n,
+            "sharing": "yes",
+            "cpu_ms_per_txn": 1e3 * cpu,
+            "overhead_vs_base_pct": 100 * (cpu / base_cpu - 1),
+            "throughput": r.throughput,
+        }
+        if prev_cpu is not None:
+            per_system = 100 * (cpu / prev_cpu - 1) / (n - prev_n)
+            row["incremental_pct_per_system"] = per_system
+            increments.append(per_system)
+        rows.append(row)
+        prev_cpu, prev_n = cpu, n
+
+    two_way = next(r for r in rows if r["systems"] == 2)
+    summary = {
+        "transition_cost_pct": two_way["overhead_vs_base_pct"],
+        "paper_transition_claim_pct": 18.0,
+        "mean_incremental_pct_per_system": (
+            sum(increments) / len(increments) if increments else 0.0
+        ),
+        "paper_incremental_claim_pct": 0.5,
+    }
+    return {"rows": rows, "summary": summary}
+
+
+def main(quick: bool = True) -> Dict:
+    kw = QUICK if quick else {"duration": 1.2, "warmup": 0.6}
+    out = run_tab1(duration=kw["duration"], warmup=kw["warmup"])
+    print_rows(
+        "Table 1 — cost of data sharing (CPU per transaction)",
+        out["rows"],
+        ["systems", "sharing", "cpu_ms_per_txn", "overhead_vs_base_pct",
+         "incremental_pct_per_system", "throughput"],
+    )
+    s = out["summary"]
+    print(
+        f"\n1->2 transition: {s['transition_cost_pct']:.1f}% "
+        f"(paper: <{s['paper_transition_claim_pct']:.0f}%)\n"
+        f"per-added-system: {s['mean_incremental_pct_per_system']:.2f}% "
+        f"(paper: <{s['paper_incremental_claim_pct']}%)"
+    )
+    return out
+
+
+if __name__ == "__main__":
+    main(quick=False)

@@ -1,0 +1,24 @@
+"""Hardware substrate: CPUs, coupling links, DASD, timer, failure injection."""
+
+from .cpu import CpuComplex
+from .dasd import DasdDevice, DasdFarm
+from .failures import FailureInjector
+from .links import CouplingLink, LinkDownError, LinkSet, Message, MessageFabric
+from .system import SystemDown, SystemNode
+from .timer import SysplexTimer, TodClock
+
+__all__ = [
+    "CouplingLink",
+    "CpuComplex",
+    "DasdDevice",
+    "DasdFarm",
+    "FailureInjector",
+    "LinkDownError",
+    "LinkSet",
+    "Message",
+    "MessageFabric",
+    "SysplexTimer",
+    "SystemDown",
+    "SystemNode",
+    "TodClock",
+]

@@ -1,0 +1,106 @@
+"""CPU complex model: an n-way tightly coupled multiprocessor.
+
+Work is expressed as *service seconds on the reference engine*; consuming
+it on an n-way complex inflates the time by the multiprocessor-effect
+factor from :class:`repro.config.CpuConfig`.  That inflation — hardware
+cache cross-invalidation, conceptual sequencing, software serialization —
+is exactly the mechanism the paper blames for the TCMP roll-off in
+Figure 3, so it is modeled explicitly rather than folded into throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..config import CpuConfig
+from ..simkernel import Resource, Simulator, NORMAL
+
+__all__ = ["CpuComplex", "SystemDown"]
+
+
+class SystemDown(Exception):
+    """Raised when work is attempted on a failed system."""
+
+
+class CpuComplex:
+    """``n_cpus`` engines with a shared dispatch queue."""
+
+    def __init__(self, sim: Simulator, config: CpuConfig, name: str = "cpu"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.engines = Resource(sim, capacity=config.n_cpus)
+        self._inflation = config.inflation()
+        self._speed = config.speed
+        self.busy_seconds = 0.0  # inflated engine-seconds actually burned
+        self.offline = False
+
+    # -- core consumption ---------------------------------------------------
+    def consume(self, cpu_seconds: float, priority: int = NORMAL) -> Generator:
+        """Process step: burn ``cpu_seconds`` of reference-engine work.
+
+        Queues for an engine, holds it for the MP-inflated duration, and
+        releases.  Yields from inside a process.
+        """
+        if cpu_seconds <= 0:
+            return
+        req = self.engines.request(priority)
+        try:
+            yield req
+            if self.offline:
+                raise SystemDown(self.name)
+            burn = cpu_seconds * self._inflation / self._speed
+            self.busy_seconds += burn
+            yield self.sim.timeout(burn)
+        finally:
+            req.cancel()
+
+    def spin(self, duration: float, priority: int = NORMAL) -> Generator:
+        """Hold an engine for a fixed *wall* duration (CPU-synchronous CF
+        command round trip: the engine spins, no task switch)."""
+        if duration <= 0:
+            return
+        req = self.engines.request(priority)
+        try:
+            yield req
+            if self.offline:
+                raise SystemDown(self.name)
+            self.busy_seconds += duration
+            yield self.sim.timeout(duration)
+        finally:
+            req.cancel()
+
+    def purge_queued(self) -> int:
+        """Machine check: dispatchable work queued for an engine dies.
+
+        Fails every waiting engine request with :class:`SystemDown` so
+        blocked tasks learn of the failure instead of resuming whenever a
+        (post-restart) engine frees up.  Returns the number purged.
+        """
+        purged = 0
+        for _p, _s, req in list(self.engines._waiters):
+            if req._key is not None and req._key is not False:
+                req._key = None  # withdrawn from the queue
+                if not req.triggered:
+                    req.fail(SystemDown(self.name)).defused()
+                purged += 1
+        return purged
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def n_cpus(self) -> int:
+        return self.config.n_cpus
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self.engines.utilization(since)
+
+    def reset_stats(self) -> None:
+        self.engines.reset_stats()
+        self.busy_seconds = 0.0
+
+    def effective_engines(self) -> float:
+        """Analytic effective capacity (reference engines) of this complex."""
+        return self.config.effective_engines()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CpuComplex {self.name} {self.n_cpus}-way>"

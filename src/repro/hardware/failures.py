@@ -1,0 +1,67 @@
+"""Failure injection: scripted outages for availability experiments.
+
+Reproduces the paper's §2.5 scenarios: unplanned system loss (hardware or
+software), planned removal for maintenance ("rolled through the parallel
+sysplex one system at a time"), CF loss, link loss, and DASD path loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..simkernel import Simulator
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Schedules failure/repair actions at absolute simulated times."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.log: List[tuple] = []
+
+    def _at(self, when: float, label: str, action: Callable[[], None]) -> None:
+        def fire():
+            self.log.append((self.sim.now, label))
+            action()
+
+        self.sim.call_at(when, fire)
+
+    # -- systems ----------------------------------------------------------
+    def crash_system(self, node, at: float) -> None:
+        """Unplanned outage: the image dies without warning."""
+        self._at(at, f"crash:{node.name}", node.fail)
+
+    def restart_system(self, node, at: float) -> None:
+        self._at(at, f"restart:{node.name}", node.restart)
+
+    def planned_outage(self, node, at: float, duration: float) -> None:
+        """Planned removal + later re-introduction (rolling maintenance)."""
+        self.crash_system(node, at)
+        self.restart_system(node, at + duration)
+
+    def rolling_maintenance(self, nodes, start: float, outage: float,
+                            gap: float) -> None:
+        """Take each system down in turn, one at a time (paper §2.5)."""
+        t = start
+        for node in nodes:
+            self.planned_outage(node, t, outage)
+            t += outage + gap
+
+    # -- coupling facility / links -------------------------------------------
+    def fail_cf(self, cf, at: float) -> None:
+        self._at(at, f"cf-fail:{cf.name}", cf.fail)
+
+    def fail_link(self, linkset, at: float, index: int = 0) -> None:
+        self._at(at, "link-fail", lambda: linkset.fail_link(index))
+
+    def repair_link(self, linkset, at: float, index: int = 0) -> None:
+        self._at(at, "link-repair", lambda: linkset.repair_link(index))
+
+    # -- DASD ---------------------------------------------------------------
+    def fail_dasd_path(self, device, at: float) -> None:
+        self._at(at, f"path-fail:{device.name}", device.fail_path)
+
+    def repair_dasd_path(self, device, at: float) -> None:
+        self._at(at, f"path-repair:{device.name}", device.repair_path)

@@ -1,0 +1,80 @@
+"""Run-level results: what every experiment reports.
+
+A :class:`RunResult` is the normalized output of one measured simulation
+window — throughput, response-time distribution, utilizations, CF and
+lock statistics — so benchmark tables print uniformly across experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RunResult", "scalability_table"]
+
+
+@dataclass
+class RunResult:
+    """Measurements from one simulation window."""
+
+    label: str
+    duration: float
+    completed: int
+    throughput: float  # transactions per simulated second
+    response_mean: float
+    response_p50: float
+    response_p90: float
+    response_p95: float
+    response_p99: float
+    cpu_utilization: Dict[str, float] = field(default_factory=dict)
+    cf_utilization: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.cpu_utilization:
+            return 0.0
+        return float(np.mean(list(self.cpu_utilization.values())))
+
+    @property
+    def utilization_spread(self) -> float:
+        """max - min system utilization: the balancing quality metric."""
+        if not self.cpu_utilization:
+            return 0.0
+        vals = list(self.cpu_utilization.values())
+        return max(vals) - min(vals)
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<28s} {self.throughput:>9.1f} tps   "
+            f"rt mean {1e3 * self.response_mean:7.2f} ms   "
+            f"p95 {1e3 * self.response_p95:7.2f} ms   "
+            f"util {100 * self.mean_utilization:5.1f}%"
+        )
+
+
+def scalability_table(results: List[RunResult], base_throughput: float,
+                      capacity_of=None) -> List[dict]:
+    """Turn raw sweep results into Figure-3-style rows.
+
+    ``base_throughput`` is the 1-engine reference; ``capacity_of`` maps a
+    result to its physical engine count (defaults to parsing the label).
+    Effective capacity = throughput / base_throughput.
+    """
+    rows = []
+    for r in results:
+        physical = capacity_of(r) if capacity_of else r.extras.get("physical", 0)
+        effective = r.throughput / base_throughput if base_throughput else math.nan
+        rows.append(
+            {
+                "label": r.label,
+                "physical": physical,
+                "effective": effective,
+                "efficiency": effective / physical if physical else math.nan,
+                "throughput": r.throughput,
+            }
+        )
+    return rows

@@ -1,0 +1,28 @@
+"""MVS multi-system services: XCF, couple data sets, heartbeat/SFM, XES,
+WLM, and the Automatic Restart Manager (paper §3.2, §5.1)."""
+
+from .arm import ArmElement, AutomaticRestartManager
+from .cds import CdsUnavailableError, CoupleDataSet
+from .heartbeat import SysplexMonitor
+from .operations import OperationsConsole
+from .racf import SecurityManager, SecurityProfile
+from .wlm import ServiceClass, WorkloadManager
+from .xcf import XcfGroupServices, XcfMember
+from .xes import XesConnection, XesServices
+
+__all__ = [
+    "ArmElement",
+    "AutomaticRestartManager",
+    "CdsUnavailableError",
+    "CoupleDataSet",
+    "OperationsConsole",
+    "SecurityManager",
+    "SecurityProfile",
+    "ServiceClass",
+    "SysplexMonitor",
+    "WorkloadManager",
+    "XcfGroupServices",
+    "XcfMember",
+    "XesConnection",
+    "XesServices",
+]

@@ -1,0 +1,126 @@
+"""Automatic Restart Manager.
+
+Paper §2.5 lists ARM's four distinguishing capabilities, all modeled here:
+
+1. shared-state awareness — a registry of every element on every system
+   (so it knows about processes that "exist" on failed processors);
+2. tight integration with heartbeat — SysplexMonitor's partition hook
+   calls straight into :meth:`system_failed`;
+3. WLM-informed placement — targets are chosen by current utilization;
+4. richer restart semantics — **affinity groups** restart together on one
+   target, **restart sequencing** (levels restart in order, level n+1
+   waiting for level n), and recovery from **cascaded failures** (a target
+   dying mid-restart reschedules the element elsewhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import ArmConfig
+from ..hardware.system import SystemNode
+from ..simkernel import Simulator
+from .wlm import WorkloadManager
+
+__all__ = ["AutomaticRestartManager", "ArmElement"]
+
+
+@dataclass
+class ArmElement:
+    """A registered restartable element (a subsystem instance)."""
+
+    name: str
+    node: SystemNode
+    #: invoked as restart_fn(element, target_node); returns a generator
+    #: performing the subsystem's own recovery, run as a process.
+    restart_fn: Callable
+    #: elements sharing an affinity group restart on the same target
+    affinity: Optional[str] = None
+    #: lower levels restart first; higher levels wait for them
+    level: int = 0
+    restarts: int = 0
+    state: str = "running"  # running | failed | restarting
+
+
+class AutomaticRestartManager:
+    """Sysplex-wide restart coordinator."""
+
+    def __init__(self, sim: Simulator, config: ArmConfig,
+                 wlm: WorkloadManager, nodes: Sequence[SystemNode]):
+        self.sim = sim
+        self.config = config
+        self.wlm = wlm
+        self.nodes = list(nodes)
+        self.elements: Dict[str, ArmElement] = {}
+        self.restart_log: List[tuple] = []
+
+    # -- registration -----------------------------------------------------
+    def register(self, name: str, node: SystemNode, restart_fn: Callable,
+                 affinity: Optional[str] = None, level: int = 0) -> ArmElement:
+        el = ArmElement(name, node, restart_fn, affinity, level)
+        self.elements[name] = el
+        return el
+
+    def deregister(self, name: str) -> None:
+        self.elements.pop(name, None)
+
+    def elements_on(self, node: SystemNode) -> List[ArmElement]:
+        return [e for e in self.elements.values() if e.node is node]
+
+    # -- failure handling ------------------------------------------------------
+    def system_failed(self, node: SystemNode) -> None:
+        """Partition hook: restart every element the dead system hosted."""
+        victims = [e for e in self.elements_on(node) if e.state == "running"]
+        if not victims:
+            return
+        for el in victims:
+            el.state = "failed"
+        self.sim.process(self._restart_batch(victims, exclude=node),
+                         name=f"arm-restart-{node.name}")
+
+    def _restart_batch(self, victims: List[ArmElement], exclude: SystemNode):
+        # Affinity groups get one shared target; singles get their own.
+        targets: Dict[str, SystemNode] = {}
+
+        def target_for(el: ArmElement) -> SystemNode:
+            key = el.affinity or f"__solo__{el.name}"
+            node = targets.get(key)
+            if node is None or not node.alive:
+                candidates = [n for n in self.nodes if n is not exclude]
+                node = self.wlm.least_utilized(candidates)
+                targets[key] = node
+            return node
+
+        # Restart level by level ("restart sequencing").
+        for level in sorted({e.level for e in victims}):
+            batch = [e for e in victims if e.level == level]
+            procs = [
+                self.sim.process(self._restart_one(el, target_for(el)),
+                                 name=f"arm-{el.name}")
+                for el in batch
+            ]
+            if procs:
+                yield self.sim.all_of(procs)
+
+    def _restart_one(self, el: ArmElement, target: SystemNode):
+        el.state = "restarting"
+        yield self.sim.timeout(self.config.restart_time)
+        if not target.alive:
+            # Cascaded failure: the target died while we were restarting.
+            candidates = [n for n in self.nodes if n.alive]
+            if not candidates:
+                el.state = "failed"
+                return
+            target = self.wlm.least_utilized(candidates)
+            yield self.sim.timeout(self.config.restart_time)
+            if not target.alive:
+                el.state = "failed"
+                return
+        el.node = target
+        el.restarts += 1
+        el.state = "running"
+        self.restart_log.append((self.sim.now, el.name, target.name))
+        # run the subsystem's own recovery logic
+        yield self.sim.process(el.restart_fn(el, target),
+                               name=f"recover-{el.name}")

@@ -1,0 +1,129 @@
+"""XCF group services: membership, signalling, and event notification.
+
+Paper §3.2, first service: "processes to join/leave groups, signal other
+group members and be notified of events related to the group."  Members
+are subsystem instances (an IRLM, a CICS region, a VTAM node); groups tie
+together the peer instances across systems.  Signalling rides the
+MessageFabric (CTC-class latency + CPU at both ends); membership events
+are delivered as callbacks, which is how peer-recovery and ARM learn about
+failures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..hardware.links import MessageFabric, Message
+from ..hardware.system import SystemNode
+from ..simkernel import Simulator, Store
+
+__all__ = ["XcfGroupServices", "XcfMember"]
+
+
+class XcfMember:
+    """One group member: identity + inbox + event hook."""
+
+    def __init__(self, services: "XcfGroupServices", group: str, name: str,
+                 node: SystemNode, inbox: Store,
+                 on_event: Optional[Callable[[str, "XcfMember"], None]]):
+        self.services = services
+        self.group = group
+        self.name = name
+        self.node = node
+        self.inbox = inbox
+        self.on_event = on_event
+        self.active = True
+
+    @property
+    def address(self) -> str:
+        return f"{self.group}/{self.name}"
+
+    def send(self, to_member: str, kind: str, payload: dict) -> None:
+        """Signal a peer in the same group (fire and forget)."""
+        self.services.signal(self, to_member, kind, payload)
+
+    def broadcast(self, kind: str, payload: dict) -> int:
+        """Signal every other active member of the group."""
+        n = 0
+        for peer in self.services.members_of(self.group):
+            if peer.name != self.name:
+                self.send(peer.name, kind, payload)
+                n += 1
+        return n
+
+    def leave(self) -> None:
+        self.services.leave(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<XcfMember {self.address} on {self.node.name}>"
+
+
+class XcfGroupServices:
+    """The sysplex-wide group registry and signalling switchboard."""
+
+    def __init__(self, sim: Simulator, fabric: MessageFabric):
+        self.sim = sim
+        self.fabric = fabric
+        self._groups: Dict[str, Dict[str, XcfMember]] = {}
+        self.events_delivered = 0
+
+    # -- membership ----------------------------------------------------------
+    def join(self, group: str, name: str, node: SystemNode,
+             on_event: Optional[Callable[[str, XcfMember], None]] = None
+             ) -> XcfMember:
+        """Join ``group`` as ``name`` from system ``node``."""
+        members = self._groups.setdefault(group, {})
+        if name in members:
+            raise ValueError(f"member {name!r} already in group {group!r}")
+        inbox = self.fabric.register(f"{group}/{name}", node.cpu)
+        member = XcfMember(self, group, name, node, inbox, on_event)
+        members[name] = member
+        self._notify(group, "join", member)
+        return member
+
+    def leave(self, member: XcfMember) -> None:
+        """Voluntary departure."""
+        self._remove(member, "leave")
+
+    def member_failed(self, member: XcfMember) -> None:
+        """Involuntary departure (system loss): peers get a 'failed' event."""
+        self._remove(member, "failed")
+
+    def _remove(self, member: XcfMember, event: str) -> None:
+        members = self._groups.get(member.group, {})
+        if members.get(member.name) is not member:
+            return
+        member.active = False
+        del members[member.name]
+        self.fabric.deregister(member.address)
+        self._notify(member.group, event, member)
+
+    def partition_out(self, node: SystemNode) -> List[XcfMember]:
+        """SFM removed a whole system: fail every member living on it."""
+        lost: List[XcfMember] = []
+        for group in list(self._groups):
+            for member in list(self._groups[group].values()):
+                if member.node is node:
+                    self.member_failed(member)
+                    lost.append(member)
+        return lost
+
+    def members_of(self, group: str) -> List[XcfMember]:
+        return list(self._groups.get(group, {}).values())
+
+    def find(self, group: str, name: str) -> Optional[XcfMember]:
+        return self._groups.get(group, {}).get(name)
+
+    def _notify(self, group: str, event: str, subject: XcfMember) -> None:
+        for member in self.members_of(group):
+            if member is subject or member.on_event is None:
+                continue
+            self.events_delivered += 1
+            member.on_event(event, subject)
+
+    # -- signalling --------------------------------------------------------------
+    def signal(self, sender: XcfMember, to_member: str, kind: str,
+               payload: dict) -> None:
+        self.fabric.send(
+            sender.address, f"{sender.group}/{to_member}", kind, payload
+        )

@@ -1,0 +1,140 @@
+"""XES: MVS services for Coupling Facility exploitation.
+
+The operating-system layer between subsystems and the CF (paper §5.1):
+structure allocation across the available facilities, connection services
+(which also allocate the local bit vectors), and **structure rebuild** —
+the availability mechanism that lets a lock or cache structure be
+re-instantiated in an alternate CF from the connectors' local state after
+a facility failure ("Multiple CF's can be connected for availability",
+§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..config import CfConfig
+from ..cf.commands import CfPort
+from ..cf.facility import CouplingFacility
+from ..cf.structure import Connector, Structure
+from ..hardware.system import SystemNode
+from ..simkernel import Simulator
+
+__all__ = ["XesServices", "XesConnection"]
+
+
+class XesConnection:
+    """One subsystem instance's connection to one structure."""
+
+    def __init__(self, services: "XesServices", node: SystemNode,
+                 structure: Structure, port: CfPort, connector: Connector):
+        self.services = services
+        self.node = node
+        self.structure = structure
+        self.port = port
+        self.connector = connector
+
+    # Convenience pass-throughs charging the command cost model.
+    def sync(self, fn: Callable, **kw) -> Generator:
+        return self.port.sync(fn, **kw)
+
+    def async_(self, fn: Callable, **kw) -> Generator:
+        return self.port.async_(fn, **kw)
+
+    def disconnect(self) -> None:
+        self.structure.disconnect(self.connector)
+
+    @property
+    def operational(self) -> bool:
+        return self.port.operational and not self.structure.lost
+
+
+class XesServices:
+    """Sysplex-wide structure registry and connection manager."""
+
+    def __init__(self, sim: Simulator, config: CfConfig):
+        self.sim = sim
+        self.config = config
+        self.facilities: List[CouplingFacility] = []
+        self.rebuilds = 0
+
+    def add_facility(self, cf: CouplingFacility) -> None:
+        self.facilities.append(cf)
+
+    def live_facilities(self) -> List[CouplingFacility]:
+        return [cf for cf in self.facilities if not cf.failed]
+
+    # -- allocation / connection ----------------------------------------------
+    def allocate(self, structure: Structure,
+                 preferred: Optional[CouplingFacility] = None) -> CouplingFacility:
+        """Place a structure in a CF (preferred, else first live one)."""
+        cf = preferred if preferred is not None and not preferred.failed else None
+        if cf is None:
+            live = self.live_facilities()
+            if not live:
+                raise RuntimeError("no live coupling facility")
+            cf = live[0]
+        cf.allocate(structure)
+        return cf
+
+    def find(self, name: str) -> Optional[Structure]:
+        for cf in self.facilities:
+            st = cf.structure(name)
+            if st is not None and not st.lost:
+                return st
+        return None
+
+    def connect(self, node: SystemNode, structure_name: str,
+                on_loss: Optional[Callable[[], None]] = None) -> XesConnection:
+        """Connect a subsystem on ``node`` to a named structure."""
+        structure = self.find(structure_name)
+        if structure is None:
+            raise KeyError(f"structure {structure_name!r} not allocated")
+        cf = structure.facility
+        links = node.cf_links.get(cf.name)
+        if links is None:
+            raise RuntimeError(f"{node.name} has no links to {cf.name}")
+        port = CfPort(node, cf, links, self.config)
+        connector = structure.connect(node.name, on_loss)
+        return XesConnection(self, node, structure, port, connector)
+
+    # -- rebuild ------------------------------------------------------------------
+    def rebuild(self, structure_name: str, factory: Callable[[], Structure],
+                contributors: Dict[SystemNode, Callable[[XesConnection], Generator]]
+                ) -> Generator:
+        """Process step: rebuild a lost structure into a surviving CF.
+
+        ``factory`` builds an empty replacement; each contributor's
+        generator repopulates it from that system's local state (e.g. the
+        lock manager re-records every lock it holds).  Returns the new
+        connections keyed by node.
+        """
+        old = None
+        for cf in self.facilities:
+            st = cf.structure(structure_name)
+            if st is not None:
+                old = st
+                cf.deallocate(structure_name)
+        live = self.live_facilities()
+        if not live:
+            raise RuntimeError("rebuild impossible: no live CF")
+        target = live[0]
+        if old is not None and old.facility is target:  # pragma: no cover
+            target = live[-1]
+        new = factory()
+        target.allocate(new)
+
+        connections: Dict[SystemNode, XesConnection] = {}
+        procs = []
+        for node, contribute in contributors.items():
+            if not node.alive:
+                continue
+            conn = self.connect(node, structure_name)
+            connections[node] = conn
+            procs.append(
+                self.sim.process(contribute(conn), name=f"rebuild-{node.name}")
+            )
+        if procs:
+            yield self.sim.all_of(procs)
+        self.rebuilds += 1
+        return connections

@@ -1,0 +1,93 @@
+"""High-level entry points: build a sysplex, drive a workload, measure.
+
+These are the functions the examples and the benchmark harness call; each
+returns :class:`repro.metrics.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import SysplexConfig
+from .metrics import RunResult
+from .sysplex import Sysplex
+from .workloads.oltp import OltpGenerator
+from .workloads.traces import DemandTrace
+
+__all__ = ["run_oltp", "build_loaded_sysplex"]
+
+
+def build_loaded_sysplex(config: SysplexConfig,
+                         mode: str = "closed",
+                         offered_tps_per_system: float = 200.0,
+                         trace: Optional[DemandTrace] = None,
+                         router_policy: str = "threshold",
+                         monitoring: bool = True,
+                         terminals_per_system: Optional[int] = None):
+    """Construct a sysplex with an OLTP workload attached (not yet run).
+
+    Returns ``(sysplex, generator)`` so callers can inject failures or
+    add systems before/while running.
+    """
+    plex = Sysplex(config, monitoring=monitoring, router_policy=router_policy)
+    gen = OltpGenerator(
+        plex.sim,
+        config.oltp,
+        n_pages=config.db.n_pages,
+        n_systems=config.n_systems,
+        rng=plex.streams.stream("oltp"),
+        router=plex.router,
+        trace=trace,
+    )
+    if mode == "closed":
+        if terminals_per_system is None:
+            terminals_per_system = (
+                config.oltp.terminals_per_cpu * config.cpu.n_cpus
+            )
+        gen.start_closed_loop(terminals_per_system)
+    elif mode == "open":
+        gen.start_open_loop(offered_tps_per_system)
+    else:
+        raise ValueError(f"unknown drive mode {mode!r}")
+    # steady-state setup: pools start warm with the hot working set, as
+    # they would be after hours of production running
+    hot = gen.sampler.hottest(config.db.buffer_pages)
+    for inst in plex.instances.values():
+        inst.buffers.prewarm(hot)
+    return plex, gen
+
+
+def run_oltp(config: SysplexConfig,
+             duration: float = 1.0,
+             warmup: float = 0.3,
+             mode: str = "closed",
+             offered_tps_per_system: float = 200.0,
+             trace: Optional[DemandTrace] = None,
+             router_policy: str = "threshold",
+             monitoring: bool = True,
+             label: Optional[str] = None,
+             terminals_per_system: Optional[int] = None) -> RunResult:
+    """Run one measured OLTP window and return its results.
+
+    ``warmup`` simulated seconds are run and discarded (buffer pools fill,
+    WLM utilization estimates settle), then ``duration`` seconds are
+    measured.
+    """
+    plex, _gen = build_loaded_sysplex(
+        config,
+        mode=mode,
+        offered_tps_per_system=offered_tps_per_system,
+        trace=trace,
+        router_policy=router_policy,
+        monitoring=monitoring,
+        terminals_per_system=terminals_per_system,
+    )
+    plex.sim.run(until=warmup)
+    plex.reset_measurement()
+    plex.sim.run(until=warmup + duration)
+    if label is None:
+        sharing = "DS" if config.data_sharing and config.n_cfs else "noDS"
+        label = (
+            f"{config.n_systems}x{config.cpu.n_cpus}cpu {sharing} {mode}"
+        )
+    return plex.collect(label)

@@ -1,0 +1,411 @@
+"""Discrete-event simulation core.
+
+A small, dependency-free kernel in the style of SimPy: a :class:`Simulator`
+owns a binary-heap event calendar and advances virtual time; model behaviour
+is written as Python generator functions ("processes") that ``yield`` events
+(timeouts, resource requests, other processes, conditions) and are resumed
+when those events fire.
+
+Time is a float in **seconds**; sub-microsecond resolution is fine because
+events at equal times are ordered deterministically by (priority, sequence
+number), so runs are exactly reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must fire before same-time NORMAL ones
+#: (used internally for process resumption after interrupts).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the calendar, value decided
+_PROCESSED = 2  # callbacks ran
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (e.g. yielding a non-event)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Simulator.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* when given a value (and is
+    scheduled), and *processed* once its callbacks have run.  Processes that
+    yield the event are resumed with its value (or have its exception thrown
+    into them if the event failed).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+        self._defused = False
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._enqueue(0.0, priority, self)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.sim._enqueue(0.0, priority, self)
+        return self
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled so the kernel will not re-raise it."""
+        self._defused = True
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            # Nobody waited for (or defused) a failed event: surface the error.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} state={self._state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        sim._enqueue(delay, NORMAL, self)
+
+
+class Process(Event):
+    """Drives a generator, resuming it each time a yielded event fires.
+
+    A process is itself an event: it succeeds with the generator's return
+    value, or fails with any exception that escapes the generator.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the generator at time now.
+        init = Event(sim)
+        init._ok = True
+        init._state = _TRIGGERED
+        init.callbacks.append(self._resume)
+        sim._enqueue(0.0, URGENT, init)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._state != _PENDING:
+            return  # already finished; interrupt is a no-op
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev._defused = True
+        ev._state = _TRIGGERED
+        ev.callbacks.append(self._resume)
+        # Detach from whatever we were waiting on so that event no longer
+        # resumes us when it fires.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.sim._enqueue(0.0, URGENT, ev)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        gen = self._generator
+        while True:
+            try:
+                if event._ok:
+                    target = gen.send(event._value)
+                else:
+                    event._defused = True
+                    target = gen.throw(event._value)
+            except StopIteration as exc:
+                self.sim._active_process = None
+                self._target = None
+                if self._state == _PENDING:
+                    self.succeed(exc.value, priority=URGENT)
+                return
+            except BaseException as exc:
+                self.sim._active_process = None
+                self._target = None
+                if self._state == _PENDING:
+                    self.fail(exc, priority=URGENT)
+                    return
+                raise
+
+            if not isinstance(target, Event):
+                self.sim._active_process = None
+                gen.throw(
+                    SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
+                )
+                return
+            if target.sim is not self.sim:
+                raise SimulationError("yielded event belongs to another simulator")
+            if target._state == _PROCESSED:
+                # Already over: feed its value straight back in.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            self._target = target
+            self.sim._active_process = None
+            return
+
+
+class Condition(Event):
+    """Waits for a boolean combination of events.
+
+    Succeeds with a dict mapping each *fired* constituent event to its value.
+    Fails as soon as any constituent fails.
+    """
+
+    __slots__ = ("_events", "_need", "_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], need: int):
+        super().__init__(sim)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+        self._need = min(need, len(self._events)) if self._events else 0
+        self._fired: list = []
+        if self._need == 0:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev._state == _PROCESSED:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._fired.append(event)
+        if len(self._fired) >= self._need:
+            self.succeed({ev: ev._value for ev in self._fired})
+
+
+class AnyOf(Condition):
+    """Condition that fires when *any* constituent event fires."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, need=1)
+
+
+class AllOf(Condition):
+    """Condition that fires when *all* constituent events have fired."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        events = list(events)
+        super().__init__(sim, events, need=len(events))
+
+
+class Simulator:
+    """Owns the event calendar and the simulated clock."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []  # (time, priority, seq, event)
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event construction --------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event, triggered manually via succeed()/fail()."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a running process."""
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` (a plain callable, not a process) at absolute time."""
+        if when < self._now:
+            raise ValueError("cannot schedule in the past")
+        ev = Event(self)
+        ev._ok = True
+        ev._state = _TRIGGERED
+        ev.callbacks.append(lambda _e: fn())
+        self._enqueue(when - self._now, NORMAL, ev)
+        return ev
+
+    # -- scheduling ----------------------------------------------------------
+    def _enqueue(self, delay: float, priority: int, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run a plain callable after ``delay`` seconds."""
+        self.call_at(self._now + delay, fn)
+
+    # -- execution -------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event.  Raises IndexError when empty."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the calendar empties, ``until`` seconds pass, or an
+        ``until`` event fires (its value is returned)."""
+        stop_value: list = []
+        if isinstance(until, Event):
+            if until._state == _PROCESSED:
+                return until._value
+
+            def _stop(ev: Event) -> None:
+                stop_value.append(ev._value)
+                if not ev._ok:
+                    ev._defused = True
+                raise StopSimulation()
+
+            until.callbacks.append(_stop)
+            horizon = float("inf")
+        elif until is None:
+            horizon = float("inf")
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError("cannot run into the past")
+
+        try:
+            while self._queue:
+                if self._queue[0][0] > horizon:
+                    break
+                self.step()
+        except StopSimulation:
+            val = stop_value[0]
+            if isinstance(until, Event) and not until._ok:
+                raise val
+            return val
+        if horizon != float("inf"):
+            self._now = horizon
+        if isinstance(until, Event):
+            raise SimulationError("simulation ended before 'until' event fired")
+        return None

@@ -1,0 +1,206 @@
+"""Shared-resource primitives for the simulation kernel.
+
+:class:`Resource`  — ``capacity`` identical servers with a FIFO (optionally
+priority-ordered) wait queue; models CPU engines, channel paths, link
+subchannels.
+
+:class:`Store` — an unbounded FIFO of Python objects with blocking ``get``;
+models message queues and work queues.
+
+:class:`Container` — a continuous level (tokens) with blocking ``get``;
+models buffer-pool free space and similar counted capacity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional
+
+from .core import Event, Simulator, NORMAL
+
+__all__ = ["Resource", "Request", "Store", "Container"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+        # released automatically
+    """
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self._key = None  # set by the resource when queued
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release if granted; withdraw from the queue if still waiting."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """``capacity`` interchangeable servers with a priority/FIFO queue."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: set = set()
+        self._waiters: list = []  # heap of (priority, seq, request)
+        self._seq = 0
+        # Time-weighted busy statistics.
+        self._busy_area = 0.0
+        self._last_change = sim.now
+
+    # -- statistics ----------------------------------------------------------
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_area += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity busy since time ``since``."""
+        self._account()
+        span = self.sim.now - since
+        if span <= 0:
+            return 0.0
+        return self._busy_area / (span * self.capacity)
+
+    def reset_stats(self) -> None:
+        self._busy_area = 0.0
+        self._last_change = self.sim.now
+
+    def busy_area(self) -> float:
+        """Cumulative busy engine-seconds (for windowed utilization)."""
+        self._account()
+        return self._busy_area
+
+    @property
+    def in_use(self) -> int:
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    # -- protocol --------------------------------------------------------------
+    def request(self, priority: int = NORMAL) -> Request:
+        """Claim one unit.  Yield the returned event to wait for the grant."""
+        req = Request(self, priority)
+        if len(self.users) < self.capacity and not self._waiters:
+            self._grant(req)
+        else:
+            self._seq += 1
+            req._key = (priority, self._seq)
+            heapq.heappush(self._waiters, (priority, self._seq, req))
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return one unit previously granted to ``request``."""
+        if request not in self.users:
+            return
+        self._account()
+        self.users.discard(request)
+        self._dispatch()
+
+    def _grant(self, req: Request) -> None:
+        self._account()
+        self.users.add(req)
+        req.succeed(req)
+
+    def _dispatch(self) -> None:
+        while self._waiters and len(self.users) < self.capacity:
+            _p, _s, req = heapq.heappop(self._waiters)
+            if req._key is None:
+                continue  # cancelled while queued
+            req._key = False
+            self._grant(req)
+
+    def _cancel(self, req: Request) -> None:
+        if req in self.users:
+            self.release(req)
+        elif req._key:
+            req._key = None  # lazily discarded by _dispatch
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.items: List[Any] = []
+        self._getters: List[Event] = []
+
+    def put(self, item: Any) -> None:
+        """Deposit an item (never blocks)."""
+        while self._getters:
+            getter = self._getters.pop(0)
+            if getter.triggered:
+                continue  # waiter withdrew (e.g. interrupted)
+            getter.succeed(item)
+            return
+        self.items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next item (FIFO)."""
+        ev = Event(self.sim)
+        if self.items:
+            ev.succeed(self.items.pop(0))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Container:
+    """A continuous level of tokens with blocking ``get``."""
+
+    def __init__(self, sim: Simulator, init: float = 0.0, capacity: float = float("inf")):
+        if init < 0 or init > capacity:
+            raise ValueError("init outside [0, capacity]")
+        self.sim = sim
+        self.level = float(init)
+        self.capacity = float(capacity)
+        self._getters: list = []  # (amount, event) FIFO
+
+    def put(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("negative put")
+        self.level = min(self.capacity, self.level + amount)
+        self._drain()
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("negative get")
+        ev = Event(self.sim)
+        self._getters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        while self._getters:
+            amount, ev = self._getters[0]
+            if ev.triggered:
+                self._getters.pop(0)
+                continue
+            if amount > self.level:
+                break
+            self.level -= amount
+            self._getters.pop(0)
+            ev.succeed(amount)

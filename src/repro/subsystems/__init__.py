@@ -1,0 +1,41 @@
+"""Exploiting subsystems: lock manager (IRLM), buffer manager, log manager,
+database manager (DB2/IMS-DB), transaction manager (CICS), VTAM generic
+resources, and peer recovery (paper §5)."""
+
+from .buffermgr import BufferManager, CastoutEngine
+from .database import DatabaseManager
+from .jes import BatchJob, JesMember, JesSpool
+from .lockmgr import DeadlockAbort, DeadlockDetector, LockManager, LockSpace
+from .logmgr import LogManager
+from .recovery import PeerRecovery
+from .tcpip import DnsRoundRobin, SysplexDistributor, TcpStack, WebConfig, WebWorkload
+from .txn import ListQueueRouter, SysplexRouter, TransactionManager
+from .vsam import VsamCatalog, VsamDataset, VsamRls
+from .vtam import GenericResources
+
+__all__ = [
+    "BatchJob",
+    "BufferManager",
+    "CastoutEngine",
+    "DatabaseManager",
+    "DeadlockAbort",
+    "DeadlockDetector",
+    "DnsRoundRobin",
+    "GenericResources",
+    "JesMember",
+    "JesSpool",
+    "ListQueueRouter",
+    "LockManager",
+    "LockSpace",
+    "LogManager",
+    "PeerRecovery",
+    "SysplexDistributor",
+    "SysplexRouter",
+    "TcpStack",
+    "TransactionManager",
+    "WebConfig",
+    "WebWorkload",
+    "VsamCatalog",
+    "VsamDataset",
+    "VsamRls",
+]

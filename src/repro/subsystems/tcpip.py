@@ -1,0 +1,226 @@
+"""TCP/IP single system image: the paper's named future enhancement.
+
+Conclusion (§6): "Future enhancements are focused on ... single system
+image for native TCP/IP networks, MVS servers to the World-Wide Web."
+That work shipped as **dynamic VIPAs and the Sysplex Distributor**: one
+stack advertises a virtual IP for the whole sysplex, spreads incoming
+connections across the member stacks using WLM recommendations, and a
+backup stack takes the VIPA over if the distributor's system fails.
+
+Modeled here:
+
+* :class:`TcpStack` — a system's TCP/IP stack + an HTTP-ish server:
+  per-request CPU, a DASD touch for the non-cached fraction, persistent
+  connections carrying several requests.
+* :class:`SysplexDistributor` — connection routing by WLM weights, an
+  inbound forwarding cost on the distributing stack (the real SD stays in
+  the inbound path; outbound returns directly), instant rerouting around
+  dead backends, and VIPA takeover by a backup stack when the
+  distributor's own system dies.
+* :class:`DnsRoundRobin` — the contemporary alternative: clients resolve
+  one of N addresses and stick with it; a dead address keeps being handed
+  out until the TTL expires, and those connections fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..hardware.dasd import DasdFarm
+from ..hardware.system import SystemNode
+from ..simkernel import MetricSet, Simulator, Tally
+
+__all__ = ["WebConfig", "TcpStack", "SysplexDistributor", "DnsRoundRobin",
+           "WebWorkload"]
+
+
+@dataclass
+class WebConfig:
+    """Cost model for the web serving path."""
+
+    #: server CPU per HTTP request (parse, handler, response build)
+    request_cpu: float = 0.9e-3
+    #: fraction of requests needing a DASD read (uncached content)
+    cold_fraction: float = 0.25
+    #: requests per persistent connection
+    requests_per_connection: int = 4
+    #: client think time between requests on a connection
+    think_time: float = 20e-3
+    #: network RTT client<->sysplex (per request)
+    network_rtt: float = 5e-3
+    #: distributor CPU per forwarded inbound request
+    forward_cpu: float = 25e-6
+    #: time for a backup stack to take over the VIPA
+    vipa_takeover: float = 0.5
+    #: DNS TTL: how long clients keep resolving a dead address
+    dns_ttl: float = 5.0
+
+
+class TcpStack:
+    """One system's TCP/IP stack with an attached web server."""
+
+    def __init__(self, sim: Simulator, node: SystemNode, farm: DasdFarm,
+                 config: WebConfig, rng: np.random.Generator,
+                 metrics: MetricSet):
+        self.sim = sim
+        self.node = node
+        self.farm = farm
+        self.config = config
+        self.rng = rng
+        self.metrics = metrics
+        self.connections_served = 0
+        self.requests_served = 0
+
+    @property
+    def available(self) -> bool:
+        return self.node.alive
+
+    def serve_connection(self, response_tally: Tally) -> Generator:
+        """Process step: one persistent connection's request/response run."""
+        from ..hardware.cpu import SystemDown
+
+        cfg = self.config
+        try:
+            for i in range(cfg.requests_per_connection):
+                if not self.node.alive:
+                    self.metrics.counter("web.conn_broken").add()
+                    return
+                t0 = self.sim.now
+                yield self.sim.timeout(cfg.network_rtt / 2)
+                yield from self.node.cpu.consume(cfg.request_cpu)
+                if self.rng.random() < cfg.cold_fraction:
+                    page = int(self.rng.integers(1_000_000))
+                    yield from self.farm.read_page(page)
+                yield self.sim.timeout(cfg.network_rtt / 2)
+                self.requests_served += 1
+                self.metrics.counter("web.requests").add()
+                response_tally.record(self.sim.now - t0)
+                if i + 1 < cfg.requests_per_connection:
+                    yield self.sim.timeout(
+                        float(self.rng.exponential(cfg.think_time)))
+        except SystemDown:
+            # the stack's system died mid-connection: the client sees a
+            # reset (new connections go elsewhere)
+            self.metrics.counter("web.conn_broken").add()
+            return
+        self.connections_served += 1
+
+
+class SysplexDistributor:
+    """The sysplex-wide virtual IP: WLM-routed connection distribution."""
+
+    def __init__(self, sim: Simulator, stacks: List[TcpStack], wlm,
+                 config: WebConfig, metrics: MetricSet):
+        self.sim = sim
+        self.stacks = list(stacks)
+        self.wlm = wlm
+        self.config = config
+        self.metrics = metrics
+        #: index of the stack currently advertising the VIPA
+        self.distributing = 0
+        self._takeover_until = 0.0
+        self.connections_routed = 0
+        self.takeovers = 0
+
+    def _distributor(self) -> Optional[TcpStack]:
+        stack = self.stacks[self.distributing]
+        if stack.available:
+            return stack
+        # VIPA takeover: the backup stack assumes the address
+        for i, s in enumerate(self.stacks):
+            if s.available:
+                if self._takeover_until < self.sim.now:
+                    self._takeover_until = (
+                        self.sim.now + self.config.vipa_takeover)
+                    self.takeovers += 1
+                self.distributing = i
+                return s
+        return None
+
+    def connect(self, response_tally: Tally) -> Generator:
+        """Process step: one inbound connection, distributed and served."""
+        dist = self._distributor()
+        if dist is None:
+            self.metrics.counter("web.conn_refused").add()
+            return
+        if self.sim.now < self._takeover_until:
+            # the VIPA is moving: SYNs are lost until the backup answers
+            yield self.sim.timeout(self._takeover_until - self.sim.now)
+            dist = self._distributor()
+            if dist is None:
+                self.metrics.counter("web.conn_refused").add()
+                return
+        candidates = [s for s in self.stacks if s.available]
+        if not candidates:
+            self.metrics.counter("web.conn_refused").add()
+            return
+        chosen = self.wlm.select_system([c.node for c in candidates])
+        target = next(s for s in candidates if s.node is chosen)
+        self.connections_routed += 1
+        # the distributor forwards every inbound segment of the connection
+        fwd = (self.config.forward_cpu
+               * self.config.requests_per_connection)
+        self.sim.process(dist.node.cpu.consume(fwd), name="sd-forward")
+        yield from target.serve_connection(response_tally)
+
+
+class DnsRoundRobin:
+    """The 1995 alternative: clients pin to an address from DNS."""
+
+    def __init__(self, sim: Simulator, stacks: List[TcpStack],
+                 config: WebConfig, metrics: MetricSet):
+        self.sim = sim
+        self.stacks = list(stacks)
+        self.config = config
+        self.metrics = metrics
+        self._next = 0
+        #: stack index -> time its death becomes visible to resolvers
+        self._dead_visible_at: Dict[int, float] = {}
+        self.connections_routed = 0
+
+    def connect(self, response_tally: Tally) -> Generator:
+        i = self._next % len(self.stacks)
+        self._next += 1
+        stack = self.stacks[i]
+        if not stack.available:
+            visible = self._dead_visible_at.setdefault(
+                i, self.sim.now + self.config.dns_ttl)
+            if self.sim.now < visible:
+                # the stale A-record is still being handed out: the
+                # connection times out and the user sees an error
+                yield self.sim.timeout(self.config.network_rtt * 2)
+                self.metrics.counter("web.conn_refused").add()
+                return
+            # TTL expired: resolver retries another address
+            alive = [s for s in self.stacks if s.available]
+            if not alive:
+                self.metrics.counter("web.conn_refused").add()
+                return
+            stack = alive[self._next % len(alive)]
+        self.connections_routed += 1
+        yield from stack.serve_connection(response_tally)
+
+
+class WebWorkload:
+    """Open-loop connection arrivals against any ``connect()`` router."""
+
+    def __init__(self, sim: Simulator, router, rng: np.random.Generator):
+        self.sim = sim
+        self.router = router
+        self.rng = rng
+        self.responses = Tally("web.rt")
+        self.generated = 0
+
+    def start(self, connections_per_second: float) -> None:
+        self.sim.process(self._arrivals(connections_per_second),
+                         name="web-arrivals")
+
+    def _arrivals(self, rate: float) -> Generator:
+        while True:
+            yield self.sim.timeout(float(self.rng.exponential(1.0 / rate)))
+            self.generated += 1
+            self.sim.process(self.router.connect(self.responses),
+                             name="web-conn")

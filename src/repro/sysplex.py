@@ -1,0 +1,484 @@
+"""The Parallel Sysplex builder: wires every component of Figure 1 and 2.
+
+``Sysplex(config)`` constructs the full stack — sysplex timer, shared
+DASD, couple data sets, coupling facilities with lock/cache/list
+structures, per-system MVS services (XCF, heartbeat/SFM, WLM, ARM, XES)
+and per-system subsystems (IRLM-like lock manager, buffer manager, log
+manager, database manager, transaction manager) — and connects the
+failure/recovery plumbing so that killing a :class:`SystemNode` exercises
+the paper's whole §2.5 story: heartbeat detection, fencing, retained
+locks, ARM-driven restart, peer recovery, workload redistribution.
+
+``add_system()`` implements §2.4's non-disruptive growth: a new member
+joins a running sysplex and starts attracting work through WLM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .cf.cache import CacheStructure
+from .cf.facility import CouplingFacility
+from .cf.list import ListStructure
+from .cf.lock import LockStructure
+from .config import SysplexConfig
+from .hardware.dasd import DasdDevice, DasdFarm
+from .hardware.links import LinkSet, MessageFabric
+from .hardware.system import SystemNode
+from .hardware.timer import SysplexTimer
+from .metrics import RunResult
+from .mvs.arm import AutomaticRestartManager
+from .mvs.cds import CoupleDataSet
+from .mvs.heartbeat import SysplexMonitor
+from .mvs.wlm import WorkloadManager
+from .mvs.xcf import XcfGroupServices
+from .mvs.xes import XesServices
+from .simkernel import MetricSet, RandomStreams, Simulator
+from .subsystems.buffermgr import BufferManager, CastoutEngine
+from .subsystems.database import DatabaseManager
+from .subsystems.lockmgr import DeadlockDetector, LockManager, LockSpace
+from .subsystems.logmgr import LogManager
+from .subsystems.recovery import PeerRecovery
+from .subsystems.txn import SysplexRouter, TransactionManager
+
+__all__ = ["Sysplex", "Instance"]
+
+LOCK_STRUCTURE = "IRLMLOCK1"
+CACHE_STRUCTURE = "GBP0"
+LIST_STRUCTURE = "WORKQ1"
+
+
+@dataclass
+class Instance:
+    """One system's full software stack."""
+
+    node: SystemNode
+    lockmgr: LockManager
+    buffers: BufferManager
+    log: LogManager
+    db: DatabaseManager
+    tm: TransactionManager
+    xes_lock: Optional[object] = None
+    xes_cache: Optional[object] = None
+    xes_list: Optional[object] = None
+    castout: Optional[CastoutEngine] = None
+
+
+class Sysplex:
+    """A fully wired Parallel Sysplex simulation."""
+
+    def __init__(self, config: SysplexConfig,
+                 monitoring: bool = True,
+                 router_policy: str = "threshold"):
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.metrics = MetricSet(self.sim)
+
+        # --- hardware -----------------------------------------------------
+        self.timer = SysplexTimer(self.sim, sync_interval=1.0)
+        self.fabric = MessageFabric(self.sim, config.xcf)
+        farm_rng = self.streams.stream("dasd")
+        self.farm = DasdFarm(self.sim, config.dasd, farm_rng,
+                             n_devices=config.n_dasd)
+        self.cds = CoupleDataSet(
+            self.sim,
+            DasdDevice(self.sim, config.dasd, farm_rng, "cds-primary"),
+            DasdDevice(self.sim, config.dasd, farm_rng, "cds-alternate"),
+        )
+
+        # --- coupling facilities + structures --------------------------------
+        self.cfs: List[CouplingFacility] = []
+        self.xes = XesServices(self.sim, config.cf)
+        if config.data_sharing and config.n_cfs > 0:
+            for i in range(config.n_cfs):
+                cf = CouplingFacility(self.sim, config.cf, name=f"CF{i + 1:02d}")
+                self.cfs.append(cf)
+                self.xes.add_facility(cf)
+            self.xes.allocate(
+                LockStructure(LOCK_STRUCTURE, config.cf.lock_table_entries)
+            )
+            self.xes.allocate(
+                CacheStructure(CACHE_STRUCTURE, config.cf.cache_elements,
+                               config.cf.cache_directory_entries)
+            )
+            self.xes.allocate(ListStructure(LIST_STRUCTURE, n_headers=8,
+                                            n_locks=4))
+
+        # --- sysplex-wide services --------------------------------------------
+        self.xcf = XcfGroupServices(self.sim, self.fabric)
+        self.monitoring = monitoring
+        self.monitor = SysplexMonitor(self.sim, config.xcf, self.cds, self.xcf)
+        self.wlm = WorkloadManager(self.sim, config.wlm,
+                                   self.streams.stream("wlm"))
+        self.lock_space = LockSpace(self.sim)
+        self.deadlocks = DeadlockDetector(self.sim, self.lock_space,
+                                          interval=config.db.deadlock_interval)
+        self.recovery = PeerRecovery(self.sim, config.arm, self.lock_space)
+
+        # --- systems ------------------------------------------------------------
+        self.nodes: List[SystemNode] = []
+        self.instances: Dict[str, Instance] = {}
+        for i in range(config.n_systems):
+            self._build_system(i)
+
+        self.arm = AutomaticRestartManager(self.sim, config.arm, self.wlm,
+                                           self.nodes)
+        self.router = SysplexRouter(
+            self.sim,
+            [inst.tm for inst in self.instances.values()],
+            self.wlm,
+            config.xcf,
+            policy=router_policy,
+        )
+        for inst in self.instances.values():
+            self._register_arm(inst)
+        self.monitor.on_partition(self._on_partition)
+        self.monitor.on_rejoin(self._revive_system)
+        for cf in self.cfs:
+            cf.on_failure(self._on_cf_failed)
+        from .mvs.operations import OperationsConsole
+
+        self.console = OperationsConsole(self)
+
+    # -- construction helpers ---------------------------------------------------
+    def _build_system(self, index: int) -> Instance:
+        cfg = self.config
+        node = SystemNode(self.sim, cfg, index,
+                          tod=self.timer.attach(drift_ppm=(index - 8) * 2.0))
+        for cf in self.cfs:
+            node.cf_links[cf.name] = LinkSet(
+                self.sim, cfg.link, name=f"{node.name}-{cf.name}"
+            )
+        self.nodes.append(node)
+        inst = self._build_instance(node)
+        self.instances[node.name] = inst
+        if self.monitoring:
+            self.monitor.add_system(node)
+        self.wlm.watch(node)
+        return inst
+
+    def _build_instance(self, node: SystemNode) -> Instance:
+        """Build the subsystem stack for one system."""
+        cfg = self.config
+        sharing = bool(self.cfs) and cfg.data_sharing
+        xes_lock = xes_cache = xes_list = None
+        if sharing:
+            xes_lock = self.xes.connect(node, LOCK_STRUCTURE)
+            xes_cache = self.xes.connect(node, CACHE_STRUCTURE)
+            xes_list = self.xes.connect(node, LIST_STRUCTURE)
+
+        lockmgr = LockManager(self.sim, self.lock_space,
+                              xes_lock if sharing else _LocalXes(node),
+                              cfg.xcf, node.name)
+        buffers = BufferManager(self.sim, node, cfg.db, self.farm,
+                                xes=xes_cache)
+        log_dev = DasdDevice(self.sim, cfg.dasd,
+                             self.streams.stream(f"log-{node.name}"),
+                             name=f"log-{node.name}")
+        log = LogManager(self.sim, node, cfg.db, log_dev)
+        db = DatabaseManager(self.sim, node, cfg.db, lockmgr, buffers, log)
+        tm = TransactionManager(self.sim, node, db, cfg.oltp, self.wlm,
+                                self.metrics,
+                                self.streams.stream(f"tm-{node.name}"),
+                                max_tasks=32 * cfg.cpu.n_cpus)
+        inst = Instance(node, lockmgr, buffers, log, db, tm,
+                        xes_lock, xes_cache, xes_list)
+        if sharing and not self._has_active_castout():
+            inst.castout = CastoutEngine(self.sim, xes_cache, self.farm)
+        if not sharing:
+            self.sim.process(self._deferred_writer(inst),
+                             name=f"dwq-{node.name}")
+        return inst
+
+    def _deferred_writer(self, inst: Instance):
+        while inst.db.alive:
+            yield self.sim.timeout(0.05)
+            yield from inst.buffers.flush_deferred(limit=128)
+
+    def _register_arm(self, inst: Instance) -> None:
+        self.arm.register(
+            f"DBMS-{inst.node.name}", inst.node,
+            lambda el, target, failed=inst: self._arm_recovery(failed, target),
+            level=0,
+        )
+
+    # -- failure / recovery wiring --------------------------------------------------
+    def _on_partition(self, node: SystemNode) -> None:
+        inst = self.instances.get(node.name)
+        if inst is None:
+            return
+        if inst.db.alive:
+            inst.db.fail()
+        # CF-side fencing: the dead system's connectors are disconnected
+        for xes in (inst.xes_lock, inst.xes_cache, inst.xes_list):
+            if xes is not None and not xes.structure.lost:
+                xes.structure.disconnect(xes.connector)
+        if inst.castout is not None:
+            inst.castout.stop()
+            self._reassign_castout(exclude=node)
+        self.metrics.counter("failures.partitioned").add()
+        self.arm.system_failed(node)
+
+    def _reassign_castout(self, exclude: SystemNode) -> None:
+        for inst in self.instances.values():
+            if inst.node is exclude or not inst.node.alive:
+                continue
+            if inst.xes_cache is not None and inst.castout is None:
+                inst.castout = CastoutEngine(self.sim, inst.xes_cache,
+                                             self.farm)
+                return
+
+    def _arm_recovery(self, failed: Instance, target: SystemNode):
+        """ARM restart body: the failed DBMS restarts on ``target`` and
+        performs takeover recovery, releasing retained locks."""
+        peer = self.instances.get(target.name)
+        if peer is None or not peer.db.alive:
+            return
+        yield from self.recovery.recover(failed.db, peer.db)
+        self.metrics.counter("failures.recovered").add()
+
+    def _revive_system(self, node: SystemNode) -> None:
+        """A failed system came back (planned outage ended / repair): it
+        re-IPLs with a fresh subsystem stack — cold buffer pool, new CF
+        connections — and rejoins workload balancing (§2.5)."""
+        old = self.instances.get(node.name)
+        if old is not None and old.db.alive:
+            # The outage was shorter than the SFM detection threshold, so
+            # the previous incarnation was never partitioned out.  A
+            # rejoining system always forces its prior instance through
+            # failure cleanup first (XCF does not allow two incarnations):
+            # retained locks, connector teardown, ARM-driven recovery.
+            self._on_partition(node)
+        inst = self._build_instance(node)
+        self.instances[node.name] = inst
+        if old is not None and old.tm in self.router.tms:
+            self.router.tms[self.router.tms.index(old.tm)] = inst.tm
+        else:
+            self.router.add_manager(inst.tm)
+        self.arm.deregister(f"DBMS-{node.name}")
+        self._register_arm(inst)
+        self.metrics.counter("systems.rejoined").add()
+
+    def _has_active_castout(self) -> bool:
+        return any(
+            i.castout is not None and i.castout.active and i.node.alive
+            for i in self.instances.values()
+        )
+
+    # -- CF failover (paper §3.3: "Multiple CF's ... for availability") ---------
+    def _on_cf_failed(self, cf: CouplingFacility) -> None:
+        self.metrics.counter("cf.failures").add()
+        if not self.xes.live_facilities():
+            return  # total coupling outage: nothing to rebuild into
+        self.sim.process(self._rebuild_structures(),
+                         name=f"rebuild-after-{cf.name}")
+
+    def _rebuild_structures(self):
+        """Rebuild every structure into a surviving CF from the connectors'
+        local state, then swap the instances onto the new connections.
+
+        Lock interest and persistent lock records are reconstructed from
+        the lock managers' ``held`` maps; cache registrations from the
+        buffer pools (local copies are assumed current — a simplification
+        of DB2's GRECP recovery, see DESIGN.md); list contents are lost
+        (queued entries are in-flight work, counted as failed).
+        """
+        from .cf.lock import LockMode
+
+        cfg = self.config
+
+        def lock_contrib(inst: Instance):
+            def fn(xconn):
+                structure, conn = xconn.structure, xconn.connector
+
+                def replay():
+                    # snapshot `held` at CF-execution time: tasks that
+                    # abandoned their locks while the rebuild was being
+                    # issued are then correctly absent
+                    for modes in inst.lockmgr.held.values():
+                        for r, m in modes.items():
+                            structure.force_record(conn, r, m)
+                            if m == LockMode.EXCL:
+                                structure.write_record(
+                                    conn, r, {"sys": inst.node.name})
+
+                n_units = sum(len(m) for m in inst.lockmgr.held.values())
+                yield from xconn.sync(
+                    replay, service_factor=max(1.0, 0.25 * n_units))
+                inst.lockmgr.xes = xconn
+                inst.xes_lock = xconn
+
+            return fn
+
+        def cache_contrib(inst: Instance):
+            def fn(xconn):
+                cache, conn = xconn.structure, xconn.connector
+                # only buffers that were VALID at failure time may be
+                # re-registered as current; cross-invalidated copies stay
+                # invalid and refresh through the normal miss path
+                old = inst.xes_cache
+                old_vec = (
+                    old.structure.vectors.get(old.connector.conn_id)
+                    if old is not None else None
+                )
+                pool = [
+                    (page, buf)
+                    for page, buf in inst.buffers._pool.items()
+                    if old_vec is None or old_vec.test(buf.slot)
+                ]
+
+                def reregister():
+                    for page, buf in pool:
+                        cache.register_and_read(conn, page, buf.slot)
+
+                yield from xconn.sync(
+                    reregister, service_factor=max(1.0, 0.1 * len(pool)))
+                inst.buffers.xes = xconn
+                inst.xes_cache = xconn
+
+            return fn
+
+        def list_contrib(inst: Instance):
+            def fn(xconn):
+                yield from xconn.sync(lambda: None)  # (re)connect handshake
+                inst.xes_list = xconn
+
+            return fn
+
+        alive = [i for i in self.instances.values() if i.node.alive]
+        yield from self.xes.rebuild(
+            LOCK_STRUCTURE,
+            lambda: LockStructure(LOCK_STRUCTURE, cfg.cf.lock_table_entries),
+            {i.node: lock_contrib(i) for i in alive},
+        )
+        yield from self.xes.rebuild(
+            CACHE_STRUCTURE,
+            lambda: CacheStructure(CACHE_STRUCTURE, cfg.cf.cache_elements,
+                                   cfg.cf.cache_directory_entries),
+            {i.node: cache_contrib(i) for i in alive},
+        )
+        yield from self.xes.rebuild(
+            LIST_STRUCTURE,
+            lambda: ListStructure(LIST_STRUCTURE, n_headers=8, n_locks=4),
+            {i.node: list_contrib(i) for i in alive},
+        )
+        # the castout engine died with the old cache structure
+        for inst in self.instances.values():
+            if inst.castout is not None:
+                inst.castout.stop()
+                inst.castout = None
+        for inst in alive:
+            if inst.xes_cache is not None:
+                inst.castout = CastoutEngine(self.sim, inst.xes_cache,
+                                             self.farm)
+                break
+        self.metrics.counter("cf.rebuilds").add()
+
+    # -- growth (paper §2.4) -------------------------------------------------------
+    def add_system(self) -> Instance:
+        """Non-disruptively introduce a new system into the running sysplex."""
+        if len(self.nodes) >= 32:
+            raise RuntimeError("paper supports up to 32 systems")
+        index = len(self.nodes)
+        inst = self._build_system(index)
+        self.arm.nodes = self.nodes
+        self._register_arm(inst)
+        self.router.add_manager(inst.tm)
+        return inst
+
+    # -- measurement -----------------------------------------------------------------
+    def reset_measurement(self) -> None:
+        """Snapshot statistics after warmup (non-destructive: the WLM
+        samplers keep reading the same busy-area counters)."""
+        for tally in self.metrics.tallies.values():
+            tally.reset()
+        self._busy_snapshot = {
+            name: inst.node.cpu.engines.busy_area()
+            for name, inst in self.instances.items()
+        }
+        self._cf_snapshot = [cf.processors.busy_area() for cf in self.cfs]
+        self._measure_start = self.sim.now
+        self._completed_start = self.metrics.counter("txn.completed").count
+
+    def collect(self, label: str) -> RunResult:
+        """Summarize the window since :meth:`reset_measurement`."""
+        start = getattr(self, "_measure_start", 0.0)
+        completed0 = getattr(self, "_completed_start", 0)
+        busy0 = getattr(self, "_busy_snapshot", {})
+        cf0 = getattr(self, "_cf_snapshot", [0.0] * len(self.cfs))
+        duration = self.sim.now - start
+        completed = self.metrics.counter("txn.completed").count - completed0
+        rt = self.metrics.tally("txn.response")
+
+        def _window_util(resource, base: float, capacity: int) -> float:
+            if duration <= 0:
+                return 0.0
+            return (resource.busy_area() - base) / (duration * capacity)
+
+        cf_util = 0.0
+        for i, cf in enumerate(self.cfs):
+            base = cf0[i] if i < len(cf0) else 0.0
+            cf_util = max(
+                cf_util,
+                _window_util(cf.processors, base, cf.config.n_cpus),
+            )
+        lock_struct = self.xes.find(LOCK_STRUCTURE) if self.cfs else None
+        extras = {
+            "deadlocks": float(self.lock_space.deadlocks),
+            "lock_waits": float(self.lock_space.waits),
+            "shipped": float(self.router.shipped),
+        }
+        if lock_struct is not None:
+            extras["false_contention_rate"] = lock_struct.false_contention_rate()
+            extras["cf_lock_requests"] = float(lock_struct.requests)
+        return RunResult(
+            label=label,
+            duration=duration,
+            completed=completed,
+            throughput=completed / duration if duration > 0 else 0.0,
+            response_mean=rt.mean,
+            response_p50=rt.percentile(50),
+            response_p90=rt.percentile(90),
+            response_p95=rt.percentile(95),
+            response_p99=rt.percentile(99),
+            cpu_utilization={
+                name: _window_util(
+                    inst.node.cpu.engines,
+                    busy0.get(name, 0.0),
+                    inst.node.cpu.n_cpus,
+                )
+                for name, inst in self.instances.items()
+                if inst.node.alive
+            },
+            cf_utilization=cf_util,
+            extras=extras,
+        )
+
+
+class _LocalXes:
+    """Null CF connection for the non-data-sharing single-system case.
+
+    Lock requests are granted from a private in-memory table at pure local
+    cost — no coupling, exactly the §4 base case.
+    """
+
+    def __init__(self, node: SystemNode):
+        self.node = node
+        self.structure = LockStructure(f"LOCAL-{node.name}", 1 << 16)
+        self.connector = self.structure.connect(node.name)
+
+    def sync(self, fn, **_kw):
+        # local latch: a few hundred nanoseconds of path length, charged
+        # as plain CPU without a link round trip
+        yield from self.node.cpu.consume(0.5e-6)
+        return fn()
+
+    def async_(self, fn, **_kw):
+        yield from self.node.cpu.consume(0.5e-6)
+        return fn()
+
+    @property
+    def operational(self) -> bool:
+        return True

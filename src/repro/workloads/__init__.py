@@ -1,0 +1,18 @@
+"""Synthetic workloads: OLTP (CICS/DBCTL-like), decision support, and
+demand-fluctuation traces (paper §2.3, §4)."""
+
+from .dss import Query, QuerySplitter
+from .oltp import OltpGenerator, PageSampler, Transaction
+from .traces import DemandTrace, flat_trace, rotating_hotspot_trace, spike_trace
+
+__all__ = [
+    "DemandTrace",
+    "OltpGenerator",
+    "PageSampler",
+    "Query",
+    "QuerySplitter",
+    "Transaction",
+    "flat_trace",
+    "rotating_hotspot_trace",
+    "spike_trace",
+]

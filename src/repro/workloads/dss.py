@@ -1,0 +1,140 @@
+"""Decision-support workload: parallel query decomposition.
+
+Paper §2.3: "parallelism can be attained by breaking up complex queries
+into smaller sub-queries, and distributing the component queries across
+multiple processors (cpu) within a single system or across multiple
+systems in a parallel sysplex.  Once all sub-queries have completed, the
+original query response can be constructed from the aggregate of the
+sub-query answers."
+
+A query scans a page range; the splitter carves it into sub-scans, ships
+them to systems chosen by WLM, runs them (CPU per page + chained I/O for
+the cold fraction), and merges at the coordinator.  ABL-DSS measures the
+speedup curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import XcfConfig
+from ..hardware.dasd import DasdFarm
+from ..simkernel import Simulator
+
+__all__ = ["Query", "QuerySplitter"]
+
+#: CPU to scan one page (predicate evaluation)
+SCAN_CPU_PER_PAGE = 15e-6
+#: coordinator CPU to merge one sub-query's answer
+MERGE_CPU = 200e-6
+#: fraction of scanned pages that need a DASD read (rest are buffered);
+#: sequential scans ride chained I/O so the cost per cold page is low
+COLD_FRACTION = 0.25
+CHAINED_PAGES_PER_IO = 16
+
+
+@dataclass
+class Query:
+    """A relational scan over ``n_pages`` pages starting at ``first_page``."""
+
+    query_id: int
+    first_page: int
+    n_pages: int
+
+
+class QuerySplitter:
+    """Decomposes queries into sub-queries and runs them sysplex-wide."""
+
+    def __init__(self, sim: Simulator, nodes: Sequence, farm: DasdFarm,
+                 wlm, xcf_config: XcfConfig):
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.farm = farm
+        self.wlm = wlm
+        self.xcf_config = xcf_config
+        self.queries_run = 0
+
+    def run_query(self, query: Query, parallelism: int,
+                  coordinator=None, priority: int = 1) -> Generator:
+        """Process step: execute one query with ``parallelism`` sub-queries.
+
+        ``priority`` is the dispatch priority WLM assigned to this work's
+        service class (batch/query work typically runs below OLTP so a
+        scan cannot push transactions off their response-time goal).
+        Returns the elapsed (response) time.
+        """
+        start = self.sim.now
+        live = [n for n in self.nodes if n.alive]
+        if not live:
+            raise RuntimeError("no system available")
+        coordinator = coordinator if coordinator is not None else live[0]
+        parallelism = max(1, min(parallelism, query.n_pages))
+
+        # carve the scan range
+        chunk = query.n_pages // parallelism
+        extras = query.n_pages % parallelism
+        subqueries: List[tuple] = []
+        offset = query.first_page
+        for i in range(parallelism):
+            size = chunk + (1 if i < extras else 0)
+            if size:
+                subqueries.append((offset, size))
+                offset += size
+
+        procs = []
+        for i, (first, size) in enumerate(subqueries):
+            target = self.wlm.select_system(live)
+            remote = target is not coordinator
+            procs.append(
+                self.sim.process(
+                    self._subquery(coordinator, target, first, size, remote,
+                                   priority),
+                    name=f"subq-{query.query_id}.{i}",
+                )
+            )
+        yield self.sim.all_of(procs)
+
+        # merge phase at the coordinator
+        yield from coordinator.cpu.consume(MERGE_CPU * len(subqueries),
+                                           priority=priority)
+        self.queries_run += 1
+        return self.sim.now - start
+
+    def _subquery(self, coordinator, target, first: int, size: int,
+                  remote: bool, priority: int = 1) -> Generator:
+        if remote:  # ship the request
+            yield from coordinator.cpu.consume(self.xcf_config.message_cpu,
+                                               priority=priority)
+            yield self.sim.timeout(self.xcf_config.message_latency)
+            yield from target.cpu.consume(self.xcf_config.message_cpu,
+                                          priority=priority)
+
+        # I/O: the cold fraction arrives via chained sequential reads
+        cold_pages = int(size * COLD_FRACTION)
+        ios = cold_pages // CHAINED_PAGES_PER_IO + (
+            1 if cold_pages % CHAINED_PAGES_PER_IO else 0
+        )
+        for i in range(ios):
+            pages = min(CHAINED_PAGES_PER_IO,
+                        cold_pages - i * CHAINED_PAGES_PER_IO)
+            device = self.farm.device_for(first + i * CHAINED_PAGES_PER_IO)
+            yield from device.io(pages=pages, priority=priority)
+
+        # CPU: scan every page, in dispatchable slices so higher-priority
+        # work can get the engine between slices
+        remaining = SCAN_CPU_PER_PAGE * size
+        slice_cpu = 0.0005
+        while remaining > 0:
+            burn = min(slice_cpu, remaining)
+            yield from target.cpu.consume(burn, priority=priority)
+            remaining -= burn
+
+        if remote:  # return the answer
+            yield from target.cpu.consume(self.xcf_config.message_cpu,
+                                          priority=priority)
+            yield self.sim.timeout(self.xcf_config.message_latency)
+            yield from coordinator.cpu.consume(self.xcf_config.message_cpu,
+                                               priority=priority)

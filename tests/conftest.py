@@ -1,0 +1,70 @@
+"""Shared test fixtures: miniature sysplex components."""
+
+import numpy as np
+import pytest
+
+from repro.cf import CouplingFacility, LockStructure, CacheStructure, ListStructure
+from repro.config import CfConfig, CpuConfig, SysplexConfig, XcfConfig
+from repro.hardware import DasdFarm, LinkSet, SystemNode
+from repro.mvs import XesServices
+from repro.simkernel import Simulator
+from repro.subsystems import (
+    BufferManager,
+    LockManager,
+    LockSpace,
+    LogManager,
+)
+
+
+class MiniPlex:
+    """A hand-wired micro-sysplex for subsystem unit tests: N systems,
+    one CF with all three structures, no MVS monitoring overhead."""
+
+    def __init__(self, n_systems=2, n_cpus=1, seed=7, lock_entries=1 << 16):
+        self.sim = Simulator()
+        self.config = SysplexConfig(
+            n_systems=n_systems, cpu=CpuConfig(n_cpus=n_cpus), seed=seed
+        )
+        self.rng = np.random.default_rng(seed)
+        self.cf = CouplingFacility(self.sim, self.config.cf, "CF01")
+        self.xes = XesServices(self.sim, self.config.cf)
+        self.xes.add_facility(self.cf)
+        self.xes.allocate(LockStructure("LOCK", lock_entries))
+        self.xes.allocate(CacheStructure("CACHE", 256, 4096))
+        self.xes.allocate(ListStructure("LIST", n_headers=4, n_locks=2))
+        self.farm = DasdFarm(self.sim, self.config.dasd, self.rng, n_devices=4)
+        self.space = LockSpace(self.sim)
+        self.nodes = []
+        self.lockmgrs = []
+        self.buffermgrs = []
+        for i in range(n_systems):
+            node = SystemNode(self.sim, self.config, i)
+            for cf in (self.cf,):
+                node.cf_links[cf.name] = LinkSet(self.sim, self.config.link,
+                                                 name=f"{node.name}-{cf.name}")
+            self.nodes.append(node)
+            xl = self.xes.connect(node, "LOCK")
+            xc = self.xes.connect(node, "CACHE")
+            self.lockmgrs.append(
+                LockManager(self.sim, self.space, xl, self.config.xcf,
+                            node.name)
+            )
+            self.buffermgrs.append(
+                BufferManager(self.sim, node, self.config.db, self.farm,
+                              xes=xc)
+            )
+
+    def run(self, *procs, until=10.0):
+        for p in procs:
+            self.sim.process(p)
+        self.sim.run(until=until)
+
+
+@pytest.fixture
+def miniplex():
+    return MiniPlex()
+
+
+@pytest.fixture
+def miniplex4():
+    return MiniPlex(n_systems=4)

@@ -1,0 +1,84 @@
+"""Calibration cross-checks: the analytic models agree with what the
+simulation measures (the guides' rule: no optimization or calibration
+claims without measurement)."""
+
+import pytest
+
+from repro.config import CpuConfig, SysplexConfig, DatabaseConfig
+from repro.experiments.common import scaled_config
+from repro.runner import run_oltp
+
+
+def test_mp_effect_analytic_matches_measured():
+    """Measured ITR of an n-way TCMP tracks the analytic effective-engine
+    curve within a few percent."""
+    base = run_oltp(
+        scaled_config(1, 1, data_sharing=False),
+        duration=0.4, warmup=0.3,
+    )
+    base_itr = base.throughput / base.mean_utilization
+    for n in (2, 6):
+        cfg = scaled_config(1, n, data_sharing=False)
+        r = run_oltp(cfg, duration=0.4, warmup=0.3)
+        measured = (r.throughput / r.mean_utilization) / base_itr
+        analytic = CpuConfig(n_cpus=n).effective_engines()
+        assert measured == pytest.approx(analytic, rel=0.08), (
+            f"{n}-way: measured {measured:.2f} vs analytic {analytic:.2f}"
+        )
+
+
+def test_data_sharing_tax_in_band():
+    """The §4 headline emerges from the cost model in the calibrated
+    band (DESIGN.md §4): 1->2 systems costs 15-25% CPU per transaction."""
+    base = run_oltp(
+        scaled_config(1, 1, data_sharing=False),
+        duration=0.4, warmup=0.3,
+    )
+    ds = run_oltp(scaled_config(2, 1), duration=0.4, warmup=0.3)
+    cpu_base = base.mean_utilization * base.duration / base.completed
+    cpu_ds = 2 * ds.mean_utilization * ds.duration / ds.completed
+    tax = cpu_ds / cpu_base - 1
+    assert 0.15 < tax < 0.25, f"data-sharing tax {tax:.3f} out of band"
+
+
+def test_sync_command_cost_formula():
+    """A sync lock command's latency decomposes into its configured
+    parts: issue CPU + 2x link latency + transfer + CF service."""
+    from repro.cf import CfPort, CouplingFacility, LockMode, LockStructure
+    from repro.config import CfConfig, LinkConfig
+    from repro.hardware import LinkSet, SystemNode
+    from repro.simkernel import Simulator
+
+    sim = Simulator()
+    cf_cfg = CfConfig()
+    link_cfg = LinkConfig()
+    node = SystemNode(sim, SysplexConfig(n_systems=1), 0)
+    cf = CouplingFacility(sim, cf_cfg)
+    port = CfPort(node, cf, LinkSet(sim, link_cfg), cf_cfg)
+    st = LockStructure("L", 1 << 10)
+    cf.allocate(st)
+    conn = st.connect("SYS00")
+    t = []
+
+    def work():
+        t0 = sim.now
+        yield from port.sync(lambda: st.request(conn, "r", LockMode.SHR))
+        t.append(sim.now - t0)
+
+    sim.process(work())
+    sim.run()
+    expected = (
+        cf_cfg.sync_issue_cpu
+        + 2 * link_cfg.latency
+        + link_cfg.transfer_time(128)
+        + cf_cfg.cmd_service
+    )
+    assert t[0] == pytest.approx(expected, rel=1e-9)
+
+
+def test_effective_engines_bounds():
+    cfg = CpuConfig()
+    for n in range(1, 11):
+        eff = cfg.effective_engines(n)
+        assert 1 <= eff <= n or n == 1
+        assert eff <= n

@@ -1,0 +1,186 @@
+"""Tests for the CF cache structure and buffer coherency (paper §3.3.2)."""
+
+import pytest
+
+from repro.cf import CacheFullError, CacheStructure, LocalVector
+
+
+@pytest.fixture
+def cache():
+    return CacheStructure("CACHE1", data_elements=8, directory_entries=32)
+
+
+@pytest.fixture
+def conns(cache):
+    return [cache.connect(f"SYS{i:02d}") for i in range(3)]
+
+
+def test_capacity_required():
+    with pytest.raises(ValueError):
+        CacheStructure("BAD", data_elements=0, directory_entries=1)
+
+
+def test_first_read_is_miss(cache, conns):
+    a = conns[0]
+    status, version = cache.register_and_read(a, "pg1", bit_index=0)
+    assert status == "miss" and version == 0
+    assert cache.vector_of(a).test(0) is True  # registered + valid
+
+
+def test_read_after_write_hits_cf_cache(cache, conns):
+    """Second-level cache role: peer refresh from CF memory, not DASD."""
+    a, b, _ = conns
+    cache.register_and_read(a, "pg1", 0)
+    cache.write_and_invalidate(a, "pg1")
+    status, version = cache.register_and_read(b, "pg1", 5)
+    assert status == "hit" and version == 1
+
+
+def test_write_invalidates_other_registrants_only(cache, conns):
+    a, b, c = conns
+    cache.register_and_read(a, "pg1", 0)
+    cache.register_and_read(b, "pg1", 1)
+    cache.register_and_read(c, "pg1", 2)
+    n = cache.write_and_invalidate(b, "pg1")
+    assert n == 2  # a and c, not the writer
+    assert cache.vector_of(a).test(0) is False
+    assert cache.vector_of(b).test(1) is True  # writer's own copy stays valid
+    assert cache.vector_of(c).test(2) is False
+
+
+def test_invalidated_reader_reregisters_and_sees_latest(cache, conns):
+    a, b, _ = conns
+    cache.register_and_read(a, "pg1", 0)
+    cache.write_and_invalidate(b, "pg1")
+    assert cache.vector_of(a).test(0) is False
+    status, version = cache.register_and_read(a, "pg1", 0)
+    assert version == cache.version_of("pg1")
+    cache.check_coherency()
+
+
+def test_unregistered_writer_sends_no_signal_to_self(cache, conns):
+    a = conns[0]
+    n = cache.write_and_invalidate(a, "pgX")
+    assert n == 0
+    assert cache.version_of("pgX") == 1
+
+
+def test_versions_monotonic(cache, conns):
+    a = conns[0]
+    for i in range(5):
+        cache.write_and_invalidate(a, "pg1")
+    assert cache.version_of("pg1") == 5
+
+
+def test_unregister_stops_invalidation(cache, conns):
+    a, b, _ = conns
+    cache.register_and_read(a, "pg1", 0)
+    cache.unregister(a, "pg1")
+    n = cache.write_and_invalidate(b, "pg1")
+    assert n == 0
+
+
+def test_coherency_invariant_random_ops(cache, conns):
+    """After any interleaving, no valid bit refers to a stale version."""
+    a, b, c = conns
+    pages = ["p0", "p1", "p2"]
+    ops = [
+        (cache.register_and_read, a, "p0", 0),
+        (cache.register_and_read, b, "p0", 0),
+        (cache.write_and_invalidate, c, "p0"),
+        (cache.register_and_read, c, "p1", 1),
+        (cache.write_and_invalidate, a, "p1"),
+        (cache.write_and_invalidate, b, "p0"),
+        (cache.register_and_read, a, "p2", 2),
+        (cache.write_and_invalidate, c, "p2"),
+    ]
+    for op, conn, page, *rest in ops:
+        if op.__name__ == "register_and_read":
+            op(conn, page, rest[0])
+        else:
+            op(conn, page)
+        cache.check_coherency()
+
+
+def test_lru_eviction_prefers_unchanged():
+    cache = CacheStructure("C", data_elements=2, directory_entries=100)
+    a = cache.connect("SYS00")
+    cache.write_and_invalidate(a, "dirty", changed=True)
+    cache.write_and_invalidate(a, "clean", changed=False)
+    cache.write_and_invalidate(a, "new", changed=False)  # forces eviction
+    assert cache.data_in_use == 2
+    # the changed block must still be there (cannot be lost before castout)
+    assert cache.castout("dirty") == 1
+
+
+def test_cache_full_when_everything_changed():
+    cache = CacheStructure("C", data_elements=2, directory_entries=100)
+    a = cache.connect("SYS00")
+    cache.write_and_invalidate(a, "d1", changed=True)
+    cache.write_and_invalidate(a, "d2", changed=True)
+    with pytest.raises(CacheFullError):
+        cache.write_and_invalidate(a, "d3", changed=True)
+
+
+def test_castout_cycle(cache, conns):
+    a = conns[0]
+    cache.write_and_invalidate(a, "pg1", changed=True)
+    version = cache.castout("pg1")
+    assert version == 1
+    cache.castout_complete("pg1", version)
+    assert cache.castout("pg1") is None  # no longer changed
+    assert cache.castouts == 1
+
+
+def test_castout_respects_intervening_write(cache, conns):
+    """A write between castout-read and completion keeps the block dirty."""
+    a = conns[0]
+    cache.write_and_invalidate(a, "pg1", changed=True)
+    version = cache.castout("pg1")
+    cache.write_and_invalidate(a, "pg1", changed=True)  # newer version
+    cache.castout_complete("pg1", version)
+    assert cache.castout("pg1") == 2  # still changed at the new version
+
+
+def test_changed_blocks_listing(cache, conns):
+    a = conns[0]
+    cache.write_and_invalidate(a, "x", changed=True)
+    cache.write_and_invalidate(a, "y", changed=False)
+    cache.write_and_invalidate(a, "z", changed=True)
+    assert set(cache.changed_blocks()) == {"x", "z"}
+
+
+def test_directory_reclaim_invalidates_registrants():
+    cache = CacheStructure("C", data_elements=4, directory_entries=2)
+    a = cache.connect("SYS00")
+    cache.register_and_read(a, "p1", 0)  # dataless directory entry
+    cache.register_and_read(a, "p2", 1)
+    cache.register_and_read(a, "p3", 2)  # forces reclaim of p1
+    assert cache.reclaims == 1
+    assert cache.vector_of(a).test(0) is False  # p1's bit invalidated
+    assert cache.vector_of(a).test(2) is True
+
+
+def test_purge_connector_removes_registrations(cache, conns):
+    a, b, _ = conns
+    cache.register_and_read(a, "pg1", 0)
+    cache.disconnect(a)
+    assert cache.write_and_invalidate(b, "pg1") == 0  # nobody left to XI
+
+
+def test_local_vector_counts():
+    v = LocalVector()
+    v.set_valid(3)
+    assert v.test(3) is True
+    v.invalidate(3)
+    assert v.invalidations == 1
+    assert v.test(3) is False
+    assert v.tests == 2
+
+
+def test_hit_rate_statistics(cache, conns):
+    a, b, _ = conns
+    cache.register_and_read(a, "p", 0)          # miss
+    cache.write_and_invalidate(a, "p")
+    cache.register_and_read(b, "p", 0)          # hit
+    assert cache.reads == 2 and cache.read_hits == 1

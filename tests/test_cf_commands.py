@@ -1,0 +1,200 @@
+"""Tests for the CF command port: sync/async cost semantics, CF failure."""
+
+import pytest
+
+from repro.cf import CfFailedError, CfPort, CouplingFacility, LockMode, LockStructure
+from repro.config import CfConfig, LinkConfig, SysplexConfig
+from repro.hardware import LinkSet, SystemNode
+from repro.hardware.system import SystemDown
+from repro.simkernel import Simulator
+
+
+def make_port(n_cpus=1, cf_cpus=2):
+    sim = Simulator()
+    from repro.config import CpuConfig
+
+    syscfg = SysplexConfig(n_systems=1, cpu=CpuConfig(n_cpus=n_cpus))
+    node = SystemNode(sim, syscfg, index=0)
+    cfcfg = CfConfig(n_cpus=cf_cpus)
+    cf = CouplingFacility(sim, cfcfg)
+    links = LinkSet(sim, LinkConfig(), name="SYS00-CF01")
+    port = CfPort(node, cf, links, cfcfg)
+    return sim, node, cf, port
+
+
+def test_sync_command_microsecond_round_trip():
+    """The headline claim: sync CF commands complete in microseconds."""
+    sim, node, cf, port = make_port()
+    done = []
+
+    def work():
+        result = yield from port.sync(lambda: "ok")
+        done.append((sim.now, result))
+
+    sim.process(work())
+    sim.run()
+    when, result = done[0]
+    assert result == "ok"
+    assert 5e-6 < when < 50e-6  # microseconds, not milliseconds
+
+
+def test_sync_holds_cpu_engine_for_round_trip():
+    """A 1-cpu system cannot do anything else while a sync command spins."""
+    sim, node, cf, port = make_port(n_cpus=1)
+    order = []
+
+    def issuer():
+        yield from port.sync(lambda: None)
+        order.append(("cf-done", sim.now))
+
+    def competitor():
+        yield from node.cpu.consume(1e-6)
+        order.append(("cpu-done", sim.now))
+
+    sim.process(issuer())
+    sim.process(competitor())
+    sim.run()
+    # competitor queued behind the spinning engine
+    assert order[0][0] == "cf-done"
+    assert order[1][1] > order[0][1]
+
+
+def test_async_frees_cpu_during_trip():
+    sim, node, cf, port = make_port(n_cpus=1)
+    order = []
+
+    def issuer():
+        yield from port.async_(lambda: None)
+        order.append(("cf-done", sim.now))
+
+    def competitor():
+        yield from node.cpu.consume(1e-6)
+        order.append(("cpu-done", sim.now))
+
+    sim.process(issuer())
+    sim.process(competitor())
+    sim.run()
+    # competitor ran during the link round trip
+    assert order[0][0] == "cpu-done"
+
+
+def test_async_charges_more_cpu_than_sync():
+    """The paper's rationale for sync execution: avoided task-switch cost."""
+    sim_s, node_s, _, port_s = make_port()
+    sim_a, node_a, _, port_a = make_port()
+
+    def s():
+        yield from port_s.sync(lambda: None)
+
+    def a():
+        yield from port_a.async_(lambda: None)
+
+    sim_s.process(s())
+    sim_s.run()
+    sim_a.process(a())
+    sim_a.run()
+    assert node_a.cpu.busy_seconds > node_s.cpu.busy_seconds
+
+
+def test_mutation_executes_at_cf(port_factory=make_port):
+    sim, node, cf, port = port_factory()
+    lock = LockStructure("L", 1 << 10)
+    cf.allocate(lock)
+    conn = lock.connect(node.name)
+    results = []
+
+    def work():
+        r = yield from port.sync(lambda: lock.request(conn, "res", LockMode.EXCL))
+        results.append(r)
+
+    sim.process(work())
+    sim.run()
+    assert results[0].granted
+    assert cf.commands_executed == 1
+
+
+def test_cf_processor_queueing_serializes_commands():
+    sim, node, cf, port = make_port(n_cpus=2, cf_cpus=1)
+    finish = []
+
+    def work(tag):
+        yield from port.sync(lambda: None)
+        finish.append((tag, sim.now))
+
+    sim.process(work("a"))
+    sim.process(work("b"))
+    sim.run()
+    # both complete but the second is delayed by CF processor contention
+    assert finish[1][1] > finish[0][1]
+
+
+def test_signal_wait_extends_command():
+    sim1, _, _, p1 = make_port()
+    sim2, _, _, p2 = make_port()
+    t = []
+
+    def w(sim, port, flag):
+        def run():
+            yield from port.sync(lambda: None, signal_wait=flag)
+            t.append(sim.now)
+
+        return run
+
+    sim1.process(w(sim1, p1, False)())
+    sim1.run()
+    sim2.process(w(sim2, p2, True)())
+    sim2.run()
+    assert t[1] == pytest.approx(t[0] + CfConfig().signal_latency)
+
+
+def test_failed_cf_raises():
+    sim, node, cf, port = make_port()
+    cf.fail()
+    failed = []
+
+    def work():
+        try:
+            yield from port.sync(lambda: None)
+        except CfFailedError:
+            failed.append(True)
+
+    sim.process(work())
+    sim.run()
+    assert failed == [True]
+    assert not port.operational
+
+
+def test_dead_system_cannot_issue():
+    sim, node, cf, port = make_port()
+    node.fail()
+
+    def work():
+        with pytest.raises(SystemDown):
+            yield from port.sync(lambda: None)
+        yield sim.timeout(0)
+
+    sim.process(work())
+    sim.run()
+
+
+def test_structure_allocation_registry():
+    sim, node, cf, port = make_port()
+    lock = LockStructure("L", 16)
+    cf.allocate(lock)
+    assert cf.structure("L") is lock
+    from repro.cf import StructureExistsError
+
+    with pytest.raises(StructureExistsError):
+        cf.allocate(LockStructure("L", 16))
+    cf.deallocate("L")
+    assert cf.structure("L") is None
+
+
+def test_cf_failure_notifies_structures():
+    sim, node, cf, port = make_port()
+    lock = LockStructure("L", 16)
+    cf.allocate(lock)
+    lost = []
+    lock.connect("SYS00", on_loss=lambda: lost.append(True))
+    cf.fail()
+    assert lost == [True]

@@ -1,0 +1,141 @@
+"""Tests for the metrics module and experiment-harness helpers."""
+
+import math
+
+import pytest
+
+from repro.metrics import RunResult, scalability_table
+from repro.experiments.common import QUICK, print_rows, scaled_config
+from repro.simkernel import Counter, MetricSet, Simulator, Tally, TimeWeighted
+
+
+def make_result(**kw):
+    defaults = dict(
+        label="x", duration=1.0, completed=100, throughput=100.0,
+        response_mean=0.01, response_p50=0.01, response_p90=0.02,
+        response_p95=0.03, response_p99=0.05,
+        cpu_utilization={"SYS00": 0.5, "SYS01": 0.9},
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+# ------------------------------------------------------------- results ----
+def test_runresult_mean_and_spread():
+    r = make_result()
+    assert r.mean_utilization == pytest.approx(0.7)
+    assert r.utilization_spread == pytest.approx(0.4)
+
+
+def test_runresult_empty_utilization():
+    r = make_result(cpu_utilization={})
+    assert r.mean_utilization == 0.0
+    assert r.utilization_spread == 0.0
+
+
+def test_runresult_row_renders():
+    row = make_result().row()
+    assert "100.0 tps" in row
+    assert "p95" in row
+
+
+def test_scalability_table():
+    results = [
+        make_result(label="a", throughput=100.0, extras={"physical": 1}),
+        make_result(label="b", throughput=180.0, extras={"physical": 2}),
+    ]
+    rows = scalability_table(results, base_throughput=100.0)
+    assert rows[0]["effective"] == pytest.approx(1.0)
+    assert rows[1]["effective"] == pytest.approx(1.8)
+    assert rows[1]["efficiency"] == pytest.approx(0.9)
+
+
+# ------------------------------------------------------------ monitors ----
+def test_counter_rate_between_marks():
+    c = Counter()
+    c.add(10)
+    c.mark(1.0)
+    c.add(20)
+    c.mark(2.0)
+    assert c.rate(1.0, 2.0) == pytest.approx(20.0)
+    assert c.rate(2.0, 2.0) == 0.0
+
+
+def test_tally_statistics():
+    t = Tally()
+    for v in (1.0, 2.0, 3.0, 4.0):
+        t.record(v)
+    assert t.n == 4
+    assert t.mean == pytest.approx(2.5)
+    assert t.maximum == 4.0
+    assert t.percentile(50) == pytest.approx(2.5)
+    t.reset()
+    assert t.n == 0
+    assert math.isnan(t.mean)
+
+
+def test_time_weighted_mean():
+    sim = Simulator()
+    g = TimeWeighted(sim, initial=0.0)
+
+    def proc():
+        yield sim.timeout(1.0)
+        g.update(10.0)
+        yield sim.timeout(1.0)
+        g.update(0.0)
+        yield sim.timeout(2.0)
+
+    sim.process(proc())
+    sim.run(until=4.0)
+    # 0 for 1s, 10 for 1s, 0 for 2s -> mean 2.5
+    assert g.mean() == pytest.approx(2.5)
+    assert g.peak == 10.0
+
+
+def test_metricset_lazy_creation_and_snapshot():
+    sim = Simulator()
+    m = MetricSet(sim)
+    m.counter("a").add(3)
+    m.tally("b").record(1.5)
+    m.gauge("c", initial=2.0)
+    snap = m.snapshot()
+    assert snap["a.count"] == 3
+    assert snap["b.mean"] == 1.5
+    assert snap["c.mean"] == 2.0
+    assert m.counter("a") is m.counter("a")
+
+
+# ---------------------------------------------------- experiment common ----
+def test_scaled_config_scales_db_and_dasd():
+    c2 = scaled_config(2)
+    c8 = scaled_config(8)
+    assert c8.db.n_pages == 4 * c2.db.n_pages
+    assert c8.n_dasd == 4 * c2.n_dasd
+    assert c2.data_sharing and c2.n_cfs == 1
+
+
+def test_scaled_config_non_sharing():
+    c = scaled_config(1, 1, data_sharing=False)
+    assert not c.data_sharing
+    assert c.n_cfs == 0
+
+
+def test_scaled_config_overrides_pass_through():
+    from repro.config import ArmConfig
+
+    c = scaled_config(2, arm=ArmConfig(restart_time=9.0), seed=5)
+    assert c.arm.restart_time == 9.0
+    assert c.seed == 5
+
+
+def test_print_rows_renders_table(capsys):
+    print_rows("T", [{"a": 1, "b": 2.5}, {"a": 10, "b": None}], ["a", "b"])
+    out = capsys.readouterr().out
+    assert "== T ==" in out
+    assert "2.500" in out
+    assert "-" in out  # None rendering
+
+
+def test_quick_settings_sane():
+    assert 0 < QUICK["duration"] <= 2
+    assert 0 < QUICK["warmup"] <= 2

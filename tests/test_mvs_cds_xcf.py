@@ -1,0 +1,219 @@
+"""Tests for couple data sets and XCF group services."""
+
+import numpy as np
+import pytest
+
+from repro.config import DasdConfig, SysplexConfig, XcfConfig
+from repro.hardware import DasdDevice, MessageFabric, SystemNode
+from repro.mvs import CdsUnavailableError, CoupleDataSet, XcfGroupServices
+from repro.simkernel import Simulator
+
+
+def make_cds(sim, duplex=True):
+    rng = np.random.default_rng(3)
+    primary = DasdDevice(sim, DasdConfig(), rng, "cds1")
+    alternate = DasdDevice(sim, DasdConfig(), rng, "cds2") if duplex else None
+    return CoupleDataSet(sim, primary, alternate), primary, alternate
+
+
+# ------------------------------------------------------------------ CDS ----
+def test_cds_update_and_read():
+    sim = Simulator()
+    cds, _, _ = make_cds(sim)
+    result = []
+
+    def work():
+        yield from cds.update("SYS00", "k", 42)
+        v = yield from cds.read("k")
+        result.append((sim.now, v))
+
+    sim.process(work())
+    sim.run()
+    assert result[0][1] == 42
+    assert result[0][0] > 0  # the I/O took real time
+
+
+def test_cds_writes_are_serialized_by_reserve():
+    sim = Simulator()
+    cds, primary, _ = make_cds(sim)
+    order = []
+
+    def writer(name, value):
+        yield from cds.update(name, "key", value)
+        order.append(value)
+
+    sim.process(writer("SYS00", 1))
+    sim.process(writer("SYS01", 2))
+    sim.run()
+    assert order == [1, 2]
+    assert cds.peek("key") == 2
+    assert cds.version("key") == 2
+
+
+def test_cds_duplexing_writes_alternate():
+    sim = Simulator()
+    cds, primary, alternate = make_cds(sim)
+
+    def work():
+        yield from cds.update("SYS00", "k", 1)
+
+    sim.process(work())
+    sim.run()
+    assert primary.io_count == 1
+    assert alternate.io_count == 1
+
+
+def test_cds_hot_switch_preserves_content():
+    sim = Simulator()
+    cds, primary, alternate = make_cds(sim)
+
+    def work():
+        yield from cds.update("SYS00", "k", 7)
+        cds.hot_switch()  # primary lost; alternate takes over
+        v = yield from cds.read("k")
+        assert v == 7
+        assert cds.primary is alternate
+
+    sim.process(work())
+    sim.run()
+    assert cds.switches == 1
+
+
+def test_cds_hot_switch_without_alternate_fails():
+    sim = Simulator()
+    cds, _, _ = make_cds(sim, duplex=False)
+    with pytest.raises(CdsUnavailableError):
+        cds.hot_switch()
+
+
+def test_cds_stale_reserve_broken_by_timeout_logic():
+    sim = Simulator()
+    cds, primary, _ = make_cds(sim)
+    cds.reserve_timeout = 2.0
+    got = []
+
+    def dead_system():
+        ev = primary.reserve("SYS-DEAD")
+        yield ev
+        cds._reserve_taken_at["SYS-DEAD"] = sim.now
+        # crashes while holding the reserve: never releases
+
+    def healthy():
+        yield sim.timeout(0.1)
+        yield from cds.update("SYS00", "k", 1)
+        got.append(sim.now)
+
+    def sweeper():
+        while not got:
+            yield sim.timeout(1.0)
+            cds.break_stale_reserves()
+
+    sim.process(dead_system())
+    sim.process(healthy())
+    sim.process(sweeper())
+    sim.run(until=30)
+    assert got and got[0] >= 2.0  # blocked until timeout logic freed it
+
+
+def test_cds_break_reserve_of_fenced_system():
+    sim = Simulator()
+    cds, primary, _ = make_cds(sim)
+
+    def holder():
+        yield primary.reserve("SYS-BAD")
+
+    sim.process(holder())
+    sim.run()
+    cds.break_reserve_of("SYS-BAD")
+    assert primary.reserved_by is None
+
+
+# ------------------------------------------------------------------ XCF ----
+def make_xcf():
+    sim = Simulator()
+    fabric = MessageFabric(sim, XcfConfig())
+    xcf = XcfGroupServices(sim, fabric)
+    nodes = [SystemNode(sim, SysplexConfig(), index=i) for i in range(3)]
+    return sim, fabric, xcf, nodes
+
+
+def test_join_and_members():
+    sim, fabric, xcf, nodes = make_xcf()
+    m0 = xcf.join("DBGRP", "IRLM0", nodes[0])
+    m1 = xcf.join("DBGRP", "IRLM1", nodes[1])
+    names = {m.name for m in xcf.members_of("DBGRP")}
+    assert names == {"IRLM0", "IRLM1"}
+    assert xcf.find("DBGRP", "IRLM0") is m0
+
+
+def test_duplicate_join_rejected():
+    sim, fabric, xcf, nodes = make_xcf()
+    xcf.join("G", "A", nodes[0])
+    with pytest.raises(ValueError):
+        xcf.join("G", "A", nodes[1])
+
+
+def test_join_events_notify_existing_members():
+    sim, fabric, xcf, nodes = make_xcf()
+    events = []
+    xcf.join("G", "A", nodes[0], on_event=lambda e, m: events.append((e, m.name)))
+    xcf.join("G", "B", nodes[1])
+    assert events == [("join", "B")]
+
+
+def test_leave_event():
+    sim, fabric, xcf, nodes = make_xcf()
+    events = []
+    xcf.join("G", "A", nodes[0], on_event=lambda e, m: events.append((e, m.name)))
+    b = xcf.join("G", "B", nodes[1])
+    b.leave()
+    assert ("leave", "B") in events
+    assert not b.active
+
+
+def test_member_signal_delivery():
+    sim, fabric, xcf, nodes = make_xcf()
+    a = xcf.join("G", "A", nodes[0])
+    b = xcf.join("G", "B", nodes[1])
+    got = []
+
+    def receiver():
+        msg = yield b.inbox.get()
+        got.append((msg.kind, msg.payload["x"]))
+
+    sim.process(receiver())
+    a.send("B", "hello", {"x": 1})
+    sim.run()
+    assert got == [("hello", 1)]
+
+
+def test_broadcast_to_group():
+    sim, fabric, xcf, nodes = make_xcf()
+    a = xcf.join("G", "A", nodes[0])
+    xcf.join("G", "B", nodes[1])
+    xcf.join("G", "C", nodes[2])
+    n = a.broadcast("note", {})
+    assert n == 2
+
+
+def test_partition_out_fails_all_members_on_node():
+    sim, fabric, xcf, nodes = make_xcf()
+    events = []
+    xcf.join("G1", "A", nodes[0], on_event=lambda e, m: events.append((e, m.name)))
+    xcf.join("G1", "B", nodes[1])
+    xcf.join("G2", "X", nodes[1])
+    lost = xcf.partition_out(nodes[1])
+    assert {m.name for m in lost} == {"B", "X"}
+    assert ("failed", "B") in events
+    # fabric endpoints removed: messages to dead members are dropped
+    assert not fabric.is_registered("G1/B")
+
+
+def test_signals_to_partitioned_member_dropped():
+    sim, fabric, xcf, nodes = make_xcf()
+    a = xcf.join("G", "A", nodes[0])
+    xcf.join("G", "B", nodes[1])
+    xcf.partition_out(nodes[1])
+    a.send("B", "hello", {})
+    sim.run()
+    assert fabric.delivered == 0

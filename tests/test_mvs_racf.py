@@ -1,0 +1,129 @@
+"""Tests for the sysplex-wide RACF profile cache (paper §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DasdConfig
+from repro.hardware import DasdDevice
+from repro.mvs.racf import SecurityManager, SecurityProfile
+
+from conftest import MiniPlex
+
+
+def make_racf(mp, n=2):
+    database = {}
+    prof = SecurityProfile("PAYROLL.DATA")
+    prof.access = {"alice": "UPDATE", "bob": "READ"}
+    database["PAYROLL.DATA"] = prof
+    dasd = DasdDevice(mp.sim, DasdConfig(), np.random.default_rng(5), "racfdb")
+    managers = []
+    for i in range(n):
+        # each system connects to the shared CACHE structure
+        xes = mp.xes.connect(mp.nodes[i], "CACHE")
+        managers.append(
+            SecurityManager(mp.sim, mp.nodes[i], database, xes, dasd)
+        )
+    return managers, database
+
+
+def run_check(mp, mgr, user, profile, level):
+    out = []
+
+    def proc():
+        r = yield from mgr.check_access(user, profile, level)
+        out.append(r)
+
+    mp.run(proc(), until=mp.sim.now + 5)
+    return out[0]
+
+
+def test_access_levels_enforced(miniplex):
+    mp = miniplex
+    (mgr,), db = make_racf(mp, n=1)
+    assert run_check(mp, mgr, "alice", "PAYROLL.DATA", "UPDATE") is True
+    assert run_check(mp, mgr, "alice", "PAYROLL.DATA", "ALTER") is False
+    assert run_check(mp, mgr, "bob", "PAYROLL.DATA", "READ") is True
+    assert run_check(mp, mgr, "bob", "PAYROLL.DATA", "UPDATE") is False
+    assert run_check(mp, mgr, "mallory", "PAYROLL.DATA", "READ") is False
+
+
+def test_unknown_profile_denies(miniplex):
+    mp = miniplex
+    (mgr,), db = make_racf(mp, n=1)
+    assert run_check(mp, mgr, "alice", "NO.SUCH", "READ") is False
+
+
+def test_checks_are_cached_locally(miniplex):
+    mp = miniplex
+    (mgr,), db = make_racf(mp, n=1)
+    run_check(mp, mgr, "alice", "PAYROLL.DATA", "READ")
+    assert mgr.dasd_fetches == 1
+    for _ in range(5):
+        run_check(mp, mgr, "alice", "PAYROLL.DATA", "READ")
+    assert mgr.dasd_fetches == 1  # all subsequent checks were local
+    assert mgr.local_hits == 5
+
+
+def test_cached_check_is_microseconds(miniplex):
+    mp = miniplex
+    (mgr,), db = make_racf(mp, n=1)
+    run_check(mp, mgr, "alice", "PAYROLL.DATA", "READ")  # warm
+    times = []
+
+    def timed():
+        t0 = mp.sim.now
+        yield from mgr.check_access("alice", "PAYROLL.DATA", "READ")
+        times.append(mp.sim.now - t0)
+
+    mp.run(timed(), until=mp.sim.now + 1)
+    assert times[0] < 50e-6
+
+
+def test_revoke_takes_effect_sysplex_wide(miniplex):
+    """The §5.1 win: an admin change on one system invalidates every
+    cached copy; the other system's next check sees the revoke."""
+    mp = miniplex
+    (mgr0, mgr1), db = make_racf(mp, n=2)
+    # both systems cache the profile
+    assert run_check(mp, mgr0, "bob", "PAYROLL.DATA", "READ") is True
+    assert run_check(mp, mgr1, "bob", "PAYROLL.DATA", "READ") is True
+    fetches_before = mgr1.dasd_fetches
+
+    def revoke():
+        yield from mgr0.alter_profile("PAYROLL.DATA", "bob", "NONE")
+
+    mp.run(revoke(), until=mp.sim.now + 5)
+    # SYS01's cached copy was cross-invalidated: next check re-fetches
+    assert run_check(mp, mgr1, "bob", "PAYROLL.DATA", "READ") is False
+    assert mgr1.dasd_fetches == fetches_before + 1
+    # and the admin's own system also answers correctly
+    assert run_check(mp, mgr0, "bob", "PAYROLL.DATA", "READ") is False
+
+
+def test_permit_grants_new_access(miniplex):
+    mp = miniplex
+    (mgr0, mgr1), db = make_racf(mp, n=2)
+    assert run_check(mp, mgr1, "carol", "PAYROLL.DATA", "READ") is False
+
+    def permit():
+        yield from mgr0.alter_profile("PAYROLL.DATA", "carol", "ALTER")
+
+    mp.run(permit(), until=mp.sim.now + 5)
+    assert run_check(mp, mgr1, "carol", "PAYROLL.DATA", "UPDATE") is True
+
+
+def test_unrelated_profiles_not_invalidated(miniplex):
+    mp = miniplex
+    (mgr0, mgr1), db = make_racf(mp, n=2)
+    other = SecurityProfile("HR.DATA")
+    other.access = {"alice": "READ"}
+    db["HR.DATA"] = other
+    run_check(mp, mgr1, "alice", "HR.DATA", "READ")
+    fetches = mgr1.dasd_fetches
+
+    def alter():
+        yield from mgr0.alter_profile("PAYROLL.DATA", "bob", "NONE")
+
+    mp.run(alter(), until=mp.sim.now + 5)
+    run_check(mp, mgr1, "alice", "HR.DATA", "READ")
+    assert mgr1.dasd_fetches == fetches  # HR.DATA stayed cached

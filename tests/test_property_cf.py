@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on the CF structures' invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cf import (
+    CacheStructure,
+    ListEntry,
+    ListStructure,
+    LockMode,
+    LockStructure,
+)
+
+# ---------------------------------------------------------------- lock ----
+
+lock_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["request", "release"]),
+        st.integers(0, 3),                      # connector
+        st.integers(0, 5),                      # resource name id
+        st.sampled_from([LockMode.SHR, LockMode.EXCL]),
+    ),
+    max_size=60,
+)
+
+
+@given(lock_ops)
+@settings(max_examples=120, deadline=None)
+def test_lock_table_never_grants_incompatible(ops):
+    """No interleaving of requests/releases produces two different
+    connectors holding the same *hash class* incompatibly."""
+    st_ = LockStructure("P", n_entries=8)  # tiny: collisions guaranteed
+    conns = [st_.connect(f"SYS{i:02d}") for i in range(4)]
+    granted = {}  # (conn_id, name, mode) -> count
+
+    for op, c, n, mode in ops:
+        name = f"res{n}"
+        if op == "request":
+            r = st_.request(conns[c], name, mode)
+            if r.granted:
+                key = (c, name, mode)
+                granted[key] = granted.get(key, 0) + 1
+        else:
+            key = (c, name, mode)
+            if granted.get(key):
+                st_.release(conns[c], name, mode)
+                granted[key] -= 1
+
+        # invariant: per hash class, EXCL interest from one connector
+        # excludes any interest from another
+        for idx, entry in st_._table.items():
+            excl_holders = {
+                cid for cid, names in entry.holds.items()
+                if any(cnt[1] > 0 for cnt in names.values())
+            }
+            if excl_holders:
+                assert len(entry.holds) == 1, (
+                    f"entry {idx}: EXCL {excl_holders} with "
+                    f"{set(entry.holds)}"
+                )
+
+
+@given(lock_ops)
+@settings(max_examples=60, deadline=None)
+def test_lock_table_counts_never_negative(ops):
+    st_ = LockStructure("P", n_entries=4)
+    conns = [st_.connect(f"SYS{i:02d}") for i in range(4)]
+    for op, c, n, mode in ops:
+        name = f"res{n}"
+        if op == "request":
+            st_.request(conns[c], name, mode)
+        else:
+            st_.release(conns[c], name, mode)
+        for entry in st_._table.values():
+            for names in entry.holds.values():
+                for shr, excl in names.values():
+                    assert shr >= 0 and excl >= 0
+
+
+# ---------------------------------------------------------------- cache ----
+
+cache_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "unregister"]),
+        st.integers(0, 2),   # connector
+        st.integers(0, 4),   # page
+    ),
+    max_size=60,
+)
+
+
+@given(cache_ops)
+@settings(max_examples=120, deadline=None)
+def test_cache_coherency_invariant(ops):
+    """A valid local bit always refers to the latest version — under any
+    interleaving of reads, writes, and unregisters."""
+    cache = CacheStructure("P", data_elements=4, directory_entries=16)
+    conns = [cache.connect(f"SYS{i:02d}") for i in range(3)]
+    for op, c, p in ops:
+        page = f"pg{p}"
+        if op == "read":
+            cache.register_and_read(conns[c], page, bit_index=p)
+        elif op == "write":
+            try:
+                cache.write_and_invalidate(conns[c], page)
+            except Exception:
+                # cache full of changed data is a legal outcome here
+                continue
+        else:
+            cache.unregister(conns[c], page)
+        cache.check_coherency()
+
+
+@given(cache_ops)
+@settings(max_examples=60, deadline=None)
+def test_cache_versions_monotonic(ops):
+    cache = CacheStructure("P", data_elements=8, directory_entries=32)
+    conns = [cache.connect(f"SYS{i:02d}") for i in range(3)]
+    seen = {}
+    for op, c, p in ops:
+        page = f"pg{p}"
+        if op == "write":
+            try:
+                cache.write_and_invalidate(conns[c], page)
+            except Exception:
+                continue
+        v = cache.version_of(page)
+        assert v >= seen.get(page, 0)
+        seen[page] = v
+
+
+# ---------------------------------------------------------------- list ----
+
+list_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["push_fifo", "push_lifo", "push_keyed", "pop",
+                         "move", "delete_head"]),
+        st.integers(0, 1),   # connector
+        st.integers(0, 2),   # header
+        st.integers(0, 9),   # key/data
+    ),
+    max_size=80,
+)
+
+
+@given(list_ops)
+@settings(max_examples=120, deadline=None)
+def test_list_entries_conserved(ops):
+    """Pushes minus pops/deletes equals the structure population; moves
+    conserve entries; keyed lists stay sorted."""
+    ls = ListStructure("P", n_headers=3)
+    conns = [ls.connect(f"SYS{i:02d}") for i in range(2)]
+    pushed = popped = 0
+    for op, c, h, k in ops:
+        if op.startswith("push"):
+            where = op.split("_")[1]
+            ls.push(conns[c], h, ListEntry(key=k, data=k), where=where)
+            pushed += 1
+        elif op == "pop":
+            if ls.pop(conns[c], h) is not None:
+                popped += 1
+        elif op == "move":
+            entries = ls.read(h)
+            if entries:
+                ls.move(conns[c], h, (h + 1) % 3, entries[0].entry_id)
+        elif op == "delete_head":
+            entries = ls.read(h)
+            if entries and ls.delete(conns[c], h, entries[0].entry_id):
+                popped += 1
+        assert ls.total_entries == pushed - popped
+        assert ls.total_entries == sum(ls.length(i) for i in range(3))
+
+
+@given(st.lists(st.integers(0, 100), max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_keyed_list_always_sorted(keys):
+    ls = ListStructure("P", n_headers=1)
+    conn = ls.connect("SYS00")
+    for k in keys:
+        ls.push(conn, 0, ListEntry(key=k), where="keyed")
+        got = [e.key for e in ls.read(0)]
+        assert got == sorted(got)

@@ -1,0 +1,280 @@
+"""Unit tests for Resource, Store and Container primitives."""
+
+import pytest
+
+from repro.simkernel import Interrupt, Resource, Simulator, Store, Container
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    granted = []
+
+    def user(tag):
+        req = res.request()
+        yield req
+        granted.append((tag, sim.now))
+        yield sim.timeout(10)
+        res.release(req)
+
+    for t in "abc":
+        sim.process(user(t))
+    sim.run()
+    assert granted == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(tag, hold):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield sim.timeout(hold)
+
+    for t in "abcd":
+        sim.process(user(t, 1))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_resource_priority_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield sim.timeout(5)
+
+    def user(tag, prio, delay):
+        yield sim.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(tag)
+
+    sim.process(holder())
+    sim.process(user("low", 5, 1))
+    sim.process(user("high", 1, 2))  # arrives later but jumps the queue
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_capacity_never_exceeded():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    peak = [0]
+
+    def user(delay):
+        yield sim.timeout(delay)
+        with res.request() as req:
+            yield req
+            peak[0] = max(peak[0], res.in_use)
+            assert res.in_use <= 3
+            yield sim.timeout(2)
+
+    for i in range(20):
+        sim.process(user(i % 4))
+    sim.run()
+    assert peak[0] == 3
+
+
+def test_context_manager_releases_on_exit():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    times = []
+
+    def user(tag):
+        with res.request() as req:
+            yield req
+            times.append((tag, sim.now))
+            yield sim.timeout(1)
+
+    sim.process(user("x"))
+    sim.process(user("y"))
+    sim.run()
+    assert times == [("x", 0), ("y", 1)]
+
+
+def test_release_is_idempotent():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user():
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)  # second release must be harmless
+
+    sim.process(user())
+    sim.run()
+    assert res.in_use == 0
+
+
+def test_cancel_waiting_request_skips_grant():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield sim.timeout(10)
+
+    def impatient():
+        yield sim.timeout(1)
+        req = res.request()
+        try:
+            yield req
+        except Interrupt:
+            req.cancel()
+            order.append("gave-up")
+
+    def patient():
+        yield sim.timeout(2)
+        with res.request() as req:
+            yield req
+            order.append(("patient", sim.now))
+
+    sim.process(holder())
+    p = sim.process(impatient())
+    sim.process(patient())
+
+    def killer():
+        yield sim.timeout(5)
+        p.interrupt()
+
+    sim.process(killer())
+    sim.run()
+    assert order == ["gave-up", ("patient", 10)]
+
+
+def test_resource_utilization_tracking():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user():
+        with res.request() as req:
+            yield req
+            yield sim.timeout(5)
+
+    sim.process(user())
+    sim.run(until=10)
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_resource_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    store.put("msg")
+    sim.process(consumer())
+    sim.run()
+    assert got == ["msg"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(3)
+        store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(3, "late")]
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    for x in (1, 2, 3):
+        store.put(x)
+    sim.process(consumer())
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_multiple_waiters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+
+    def producer():
+        yield sim.timeout(1)
+        store.put("a")
+        store.put("b")
+
+    sim.process(producer())
+    sim.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+def test_container_get_blocks_until_level():
+    sim = Simulator()
+    tank = Container(sim, init=1)
+    got = []
+
+    def consumer():
+        yield tank.get(3)
+        got.append(sim.now)
+
+    def producer():
+        yield sim.timeout(2)
+        tank.put(2)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [2]
+    assert tank.level == 0
+
+
+def test_container_rejects_bad_init():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Container(sim, init=-1)
+    with pytest.raises(ValueError):
+        Container(sim, init=5, capacity=2)
+
+
+def test_container_capacity_clamps_put():
+    sim = Simulator()
+    tank = Container(sim, init=0, capacity=10)
+    tank.put(25)
+    assert tank.level == 10

@@ -8,7 +8,6 @@ primary output.  Assertions encode the paper's qualitative shape: who
 wins, what bends, what stays flat.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

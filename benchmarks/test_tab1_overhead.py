@@ -2,7 +2,7 @@
 
 from conftest import run_once
 from repro.experiments.common import print_rows
-from repro.experiments.tab1_overhead import run_tab1
+from repro.experiments.tab1_overhead import print_attribution, run_tab1
 
 
 def test_tab1_data_sharing_overhead(benchmark):
@@ -30,3 +30,11 @@ def test_tab1_data_sharing_overhead(benchmark):
     by_n = {r["systems"]: r for r in out["rows"]}
     assert (by_n[32]["overhead_vs_base_pct"]
             < by_n[2]["overhead_vs_base_pct"] + 10.0)
+    # overhead attribution (traced base + 2-way): the transition cost
+    # shows up as CF-coupled categories, not as unattributed time
+    print_attribution(out["attribution"])
+    att = out["attribution"]
+    assert att is not None
+    assert att["delta_us"]["coherency"] > 0  # sharing adds coherency work
+    assert att["two_way"]["trace.cf_ops_per_txn"] > 0
+    assert att["base"]["trace.cf_ops_per_txn"] == 0  # no CF in the base

@@ -35,11 +35,19 @@ from .config import (
 from .metrics import RunResult, scalability_table
 from .runner import build_loaded_sysplex, run_oltp
 from .sysplex import Instance, Sysplex
+from .trace import Span, Tracer
+from .trace_analysis import (
+    Attribution,
+    attribute,
+    attribution_delta,
+    format_attribution,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ArmConfig",
+    "Attribution",
     "CfConfig",
     "CpuConfig",
     "DasdConfig",
@@ -48,11 +56,16 @@ __all__ = [
     "LinkConfig",
     "OltpConfig",
     "RunResult",
+    "Span",
     "Sysplex",
     "SysplexConfig",
+    "Tracer",
     "WlmConfig",
     "XcfConfig",
+    "attribute",
+    "attribution_delta",
     "build_loaded_sysplex",
+    "format_attribution",
     "quick_sysplex",
     "run_oltp",
     "scalability_table",

@@ -23,9 +23,8 @@ cluster versus the CF-based sysplex.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Set
+from typing import Dict, Generator, List
 
-import numpy as np
 
 from ..cf.lock import LockMode
 from ..config import SysplexConfig

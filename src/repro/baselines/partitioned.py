@@ -23,9 +23,8 @@ function-shipped.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Generator, List
 
-import numpy as np
 
 from ..cf.lock import LockMode
 from ..config import SysplexConfig

@@ -19,7 +19,7 @@ passed in as a plain closure.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from ..config import CfConfig
 from ..hardware.links import LinkSet
@@ -33,12 +33,13 @@ class CfPort:
     """One system's command path to one Coupling Facility."""
 
     def __init__(self, node: SystemNode, cf: CouplingFacility,
-                 links: LinkSet, config: CfConfig):
+                 links: LinkSet, config: CfConfig, trace=None):
         self.node = node
         self.cf = cf
         self.links = links
         self.config = config
         self.sim = node.sim
+        self.trace = trace  # Tracer or None (zero-cost when disabled)
         self.sync_ops = 0
         self.async_ops = 0
 
@@ -65,6 +66,8 @@ class CfPort:
         """
         if not self.node.alive:
             raise SystemDown(self.node.name)
+        tr = self.trace
+        span = -1 if tr is None else tr.begin("cf.sync")
         cpu = self.node.cpu
         box: list = []
         req = cpu.engines.request()
@@ -83,6 +86,8 @@ class CfPort:
             cpu.busy_seconds += self.sim.now - start
         finally:
             req.cancel()
+            if tr is not None:
+                tr.end(span)
         self.sync_ops += 1
         return box[0]
 
@@ -98,15 +103,21 @@ class CfPort:
         """
         if not self.node.alive:
             raise SystemDown(self.node.name)
+        tr = self.trace
+        span = -1 if tr is None else tr.begin("cf.async")
         cpu = self.node.cpu
         box: list = []
-        yield from cpu.consume(self.config.sync_issue_cpu)
-        link = self.links.pick()
-        yield from link.occupy(
-            out_bytes, in_bytes,
-            self._service(fn, data, signal_wait, box, service_factor),
-        )
-        yield from cpu.consume(self.config.async_extra_cpu)
+        try:
+            yield from cpu.consume(self.config.sync_issue_cpu)
+            link = self.links.pick()
+            yield from link.occupy(
+                out_bytes, in_bytes,
+                self._service(fn, data, signal_wait, box, service_factor),
+            )
+            yield from cpu.consume(self.config.async_extra_cpu)
+        finally:
+            if tr is not None:
+                tr.end(span)
         self.async_ops += 1
         return box[0]
 

@@ -15,7 +15,7 @@ callback, never a process on the target's CPU complex.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..config import CfConfig
 from ..simkernel import Resource, Simulator
@@ -43,6 +43,9 @@ class CouplingFacility:
         self.failed = False
         self.commands_executed = 0
         self.signals_sent = 0
+        #: optional repro.trace.Tracer — set by the sysplex builder when
+        #: tracing is enabled; records per-command CF service spans
+        self.trace = None
         self._failure_hooks: List[Callable[["CouplingFacility"], None]] = []
 
     def on_failure(self, hook: Callable[["CouplingFacility"], None]) -> None:
@@ -77,6 +80,8 @@ class CouplingFacility:
         """
         if self.failed:
             raise CfFailedError(self.name)
+        tr = self.trace
+        span = -1 if tr is None else tr.begin("cf.service")
         req = self.processors.request()
         try:
             yield req
@@ -88,6 +93,8 @@ class CouplingFacility:
             self.commands_executed += 1
         finally:
             req.cancel()
+            if tr is not None:
+                tr.end(span)
 
     def signal(self, apply: Callable[[], None]) -> None:
         """Deliver a CF→system signal: apply after latency, zero target CPU."""

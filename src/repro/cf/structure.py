@@ -8,7 +8,7 @@ instances (e.g. one IRLM per MVS image) attached to a structure.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 __all__ = ["Structure", "Connector", "StructureFailedError"]
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-import numpy as np
 
 from ..hardware.dasd import DasdDevice
 from ..runner import build_loaded_sysplex
@@ -37,7 +36,7 @@ def _run_case(granularity: str, n_systems: int, hot_records: int,
     plex, gen = build_loaded_sysplex(config, mode="closed",
                                      terminals_per_system=0)
     catalog = VsamCatalog(first_page=10_000_000)
-    ds = catalog.define("HOT", max_cis=2_000, records_per_ci=20)
+    catalog.define("HOT", max_cis=2_000, records_per_ci=20)
 
     instances = list(plex.instances.values())
     rlss: List[VsamRls] = []

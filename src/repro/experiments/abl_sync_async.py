@@ -44,7 +44,8 @@ def _measure(mode: str, link_latency: float, n_ops: int = 300) -> dict:
     def driver():
         for i in range(n_ops):
             t0 = sim.now
-            fn = lambda i=i: structure.request(conn, f"r{i}", LockMode.EXCL)
+            def fn(i=i):
+                return structure.request(conn, f"r{i}", LockMode.EXCL)
             if mode == "sync":
                 yield from port.sync(fn)
             else:

@@ -10,7 +10,7 @@ paper's tables.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 from ..config import (
     CpuConfig,

@@ -19,7 +19,7 @@ small = balanced), and lost transactions.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..baselines.partitioned import PartitionedCluster
 from ..sysplex import Sysplex

@@ -14,13 +14,13 @@ surviving systems.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
 from ..runner import build_loaded_sysplex
 from ..subsystems.vtam import GenericResources
-from .common import QUICK, print_rows, scaled_config
+from .common import print_rows, scaled_config
 
 __all__ = ["run_generic_resources", "main"]
 

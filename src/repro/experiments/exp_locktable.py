@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
 
 from ..cf.lock import LockMode
 from ..runner import build_loaded_sysplex

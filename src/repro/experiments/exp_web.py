@@ -16,10 +16,9 @@ connection-placement schemes, and one backend system dies mid-run:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..runner import build_loaded_sysplex
-from ..simkernel import Tally
 from ..subsystems.tcpip import (
     DnsRoundRobin,
     SysplexDistributor,

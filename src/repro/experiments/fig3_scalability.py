@@ -14,7 +14,7 @@ the 1-engine non-data-sharing system's throughput.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..runner import run_oltp
 from .common import QUICK, print_rows, scaled_config
@@ -29,11 +29,18 @@ def run_fig3(tcmp_points: Sequence[int] = TCMP_POINTS,
              plex_points: Sequence[int] = PLEX_POINTS,
              duration: float = QUICK["duration"],
              warmup: float = QUICK["warmup"],
-             seed: int = 1) -> Dict[str, List[dict]]:
-    """Measure the three Figure-3 series; returns {series: rows}."""
+             seed: int = 1,
+             tracing: bool = False) -> Dict[str, List[dict]]:
+    """Measure the three Figure-3 series; returns {series: rows}.
+
+    ``tracing=True`` attaches the span tracer to every run so each row
+    gains ``trace.*`` attribution extras; off by default because the
+    sweep reaches 32 systems and the span log gets large.
+    """
     base = run_oltp(
         scaled_config(1, 1, data_sharing=False, seed=seed),
         duration=duration, warmup=warmup, label="base-1cpu",
+        tracing=tracing,
     )
     base_tput = base.throughput
     # ITR (internal throughput rate) = completions per CPU-busy second —
@@ -45,7 +52,7 @@ def run_fig3(tcmp_points: Sequence[int] = TCMP_POINTS,
         effective = result.throughput / base_tput if base_tput else 0.0
         itr = result.throughput / max(result.mean_utilization, 1e-9)
         itr_effective = itr / base_itr
-        return {
+        out = {
             "physical": physical,
             "effective": round(effective, 2),
             "efficiency": round(effective / physical, 3) if physical else 0,
@@ -56,12 +63,19 @@ def run_fig3(tcmp_points: Sequence[int] = TCMP_POINTS,
             "throughput": result.throughput,
             "util": round(result.mean_utilization, 3),
         }
+        if tracing:
+            out.update(
+                (k, v) for k, v in result.extras.items()
+                if k.startswith("trace.")
+            )
+        return out
 
     tcmp_rows = []
     for n in tcmp_points:
         r = run_oltp(
             scaled_config(1, n, data_sharing=False, seed=seed),
             duration=duration, warmup=warmup, label=f"tcmp-{n}",
+            tracing=tracing,
         )
         tcmp_rows.append(row(n, r))
 
@@ -71,6 +85,7 @@ def run_fig3(tcmp_points: Sequence[int] = TCMP_POINTS,
         r = run_oltp(
             scaled_config(k, 1, data_sharing=sharing, seed=seed),
             duration=duration, warmup=warmup, label=f"plex-{k}",
+            tracing=tracing,
         )
         plex_rows.append(row(k, r))
 

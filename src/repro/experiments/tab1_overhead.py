@@ -13,9 +13,10 @@ measurements in [8,9] used) at each configuration size.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..runner import run_oltp
+from ..trace_analysis import CATEGORIES, attribution_delta
 from .common import QUICK, print_rows, scaled_config
 
 __all__ = ["run_tab1", "main"]
@@ -32,10 +33,21 @@ def cpu_per_txn(result, engines: int) -> float:
 def run_tab1(sweep: Sequence[int] = SWEEP,
              duration: float = QUICK["duration"],
              warmup: float = QUICK["warmup"],
-             seed: int = 1) -> Dict:
+             seed: int = 1,
+             tracing: bool = True) -> Dict:
+    """Measure the §4 data-sharing cost sweep.
+
+    With ``tracing`` on (the default), the 1-system base and the 2-system
+    point run with the span tracer attached, and the result carries an
+    ``attribution`` section: where the 1→2 transition cost lands across
+    the transaction lifecycle (dispatch / lock / coherency / io / commit
+    / other).  The tracer is passive, so traced runs produce the same
+    numbers as untraced ones.
+    """
     base = run_oltp(
         scaled_config(1, 1, data_sharing=False, seed=seed),
         duration=duration, warmup=warmup, label="1-system no-DS",
+        tracing=tracing,
     )
     base_cpu = cpu_per_txn(base, 1)
     rows = [
@@ -50,11 +62,15 @@ def run_tab1(sweep: Sequence[int] = SWEEP,
     prev_cpu = None
     prev_n = None
     increments: List[float] = []
+    two_way_extras: Optional[Dict[str, float]] = None
     for n in sweep:
         r = run_oltp(
             scaled_config(n, 1, seed=seed),
             duration=duration, warmup=warmup, label=f"{n}-system DS",
+            tracing=tracing and n == 2,
         )
+        if n == 2:
+            two_way_extras = r.extras
         cpu = cpu_per_txn(r, n)
         row = {
             "systems": n,
@@ -79,7 +95,49 @@ def run_tab1(sweep: Sequence[int] = SWEEP,
         ),
         "paper_incremental_claim_pct": 0.5,
     }
-    return {"rows": rows, "summary": summary}
+    attribution = None
+    if tracing and two_way_extras is not None:
+        attribution = {
+            "base": _trace_keys(base.extras),
+            "two_way": _trace_keys(two_way_extras),
+            "delta_us": attribution_delta(base.extras, two_way_extras),
+        }
+    return {"rows": rows, "summary": summary, "attribution": attribution}
+
+
+def _trace_keys(extras: Dict[str, float]) -> Dict[str, float]:
+    return {k: v for k, v in extras.items() if k.startswith("trace.")}
+
+
+def print_attribution(attribution: Optional[Dict]) -> None:
+    """Render the 1→2 transition attribution as a per-category table."""
+    if not attribution:
+        return
+    base = attribution["base"]
+    two = attribution["two_way"]
+    delta = attribution["delta_us"]
+    print("\nWhere the 1->2 response time goes (per-txn, µs):")
+    print(f"  {'category':<10} {'1-sys':>9} {'2-sys':>9} "
+          f"{'delta':>9} {'2-sys %':>8}")
+    for cat in CATEGORIES:
+        print(
+            f"  {cat:<10}"
+            f" {base.get(f'trace.{cat}_us', 0.0):>9.1f}"
+            f" {two.get(f'trace.{cat}_us', 0.0):>9.1f}"
+            f" {delta.get(cat, 0.0):>+9.1f}"
+            f" {two.get(f'trace.{cat}_pct', 0.0):>7.1f}%"
+        )
+    print(
+        f"  {'total':<10}"
+        f" {base.get('trace.rt_us', 0.0):>9.1f}"
+        f" {two.get('trace.rt_us', 0.0):>9.1f}"
+        f" {delta.get('total', 0.0):>+9.1f}"
+    )
+    print(
+        f"  CF ops/txn: {base.get('trace.cf_ops_per_txn', 0.0):.1f} -> "
+        f"{two.get('trace.cf_ops_per_txn', 0.0):.1f}"
+        f"  (CF time {two.get('trace.cf_us', 0.0):.1f} µs/txn)"
+    )
 
 
 def main(quick: bool = True) -> Dict:
@@ -98,6 +156,7 @@ def main(quick: bool = True) -> Dict:
         f"per-added-system: {s['mean_incremental_pct_per_system']:.2f}% "
         f"(paper: <{s['paper_incremental_claim_pct']}%)"
     )
+    print_attribution(out["attribution"])
     return out
 
 

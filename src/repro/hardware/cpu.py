@@ -10,7 +10,7 @@ Figure 3, so it is modeled explicitly rather than folded into throughput.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from ..config import CpuConfig
 from ..simkernel import Resource, Simulator, NORMAL

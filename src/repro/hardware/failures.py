@@ -7,7 +7,7 @@ sysplex one system at a time"), CF loss, link loss, and DASD path loss.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ..simkernel import Simulator
 

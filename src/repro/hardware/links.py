@@ -15,7 +15,7 @@ the difference:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..config import LinkConfig, XcfConfig
 from ..simkernel import Resource, Simulator, Store
@@ -78,10 +78,10 @@ class LinkSet:
 
     def pick(self) -> CouplingLink:
         """Least-busy operational link (channel subsystem path selection)."""
-        candidates = [l for l in self.links if l.operational]
+        candidates = [link for link in self.links if link.operational]
         if not candidates:
             raise LinkDownError("all coupling links down")
-        return min(candidates, key=lambda l: l.busy())
+        return min(candidates, key=lambda link: link.busy())
 
     def fail_link(self, index: int = 0) -> None:
         self.links[index].operational = False
@@ -91,7 +91,7 @@ class LinkSet:
 
     @property
     def operational(self) -> bool:
-        return any(l.operational for l in self.links)
+        return any(link.operational for link in self.links)
 
 
 class Message:

@@ -15,7 +15,7 @@ Paper §2.5 lists ARM's four distinguishing capabilities, all modeled here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import ArmConfig

@@ -19,7 +19,7 @@ finds itself cut off rather than corrupting shared state.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..config import XcfConfig
 from ..hardware.system import SystemNode

@@ -14,7 +14,7 @@ leave — so a planned removal loses *zero* transactions, unlike a crash.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List
 
 from ..hardware.system import SystemNode
 from ..simkernel import Simulator

@@ -15,7 +15,7 @@ storage, registered in a CF cache structure, so
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, Tuple
 
 from ..simkernel import Simulator
 from .xes import XesConnection

@@ -11,9 +11,9 @@ failures.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
-from ..hardware.links import MessageFabric, Message
+from ..hardware.links import MessageFabric
 from ..hardware.system import SystemNode
 from ..simkernel import Simulator, Store
 

@@ -52,9 +52,10 @@ class XesConnection:
 class XesServices:
     """Sysplex-wide structure registry and connection manager."""
 
-    def __init__(self, sim: Simulator, config: CfConfig):
+    def __init__(self, sim: Simulator, config: CfConfig, trace=None):
         self.sim = sim
         self.config = config
+        self.trace = trace  # Tracer or None; threaded into every CfPort
         self.facilities: List[CouplingFacility] = []
         self.rebuilds = 0
 
@@ -94,7 +95,7 @@ class XesServices:
         links = node.cf_links.get(cf.name)
         if links is None:
             raise RuntimeError(f"{node.name} has no links to {cf.name}")
-        port = CfPort(node, cf, links, self.config)
+        port = CfPort(node, cf, links, self.config, trace=self.trace)
         connector = structure.connect(node.name, on_loss)
         return XesConnection(self, node, structure, port, connector)
 

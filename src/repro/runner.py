@@ -23,13 +23,17 @@ def build_loaded_sysplex(config: SysplexConfig,
                          trace: Optional[DemandTrace] = None,
                          router_policy: str = "threshold",
                          monitoring: bool = True,
-                         terminals_per_system: Optional[int] = None):
+                         terminals_per_system: Optional[int] = None,
+                         tracing: bool = False):
     """Construct a sysplex with an OLTP workload attached (not yet run).
 
     Returns ``(sysplex, generator)`` so callers can inject failures or
-    add systems before/while running.
+    add systems before/while running.  ``tracing=True`` attaches the
+    transaction-level span tracer (see :mod:`repro.trace`), making
+    per-category overhead attribution available from ``collect()``.
     """
-    plex = Sysplex(config, monitoring=monitoring, router_policy=router_policy)
+    plex = Sysplex(config, monitoring=monitoring, router_policy=router_policy,
+                   tracing=tracing)
     gen = OltpGenerator(
         plex.sim,
         config.oltp,
@@ -38,6 +42,7 @@ def build_loaded_sysplex(config: SysplexConfig,
         rng=plex.streams.stream("oltp"),
         router=plex.router,
         trace=trace,
+        tracer=plex.tracer,
     )
     if mode == "closed":
         if terminals_per_system is None:
@@ -66,12 +71,15 @@ def run_oltp(config: SysplexConfig,
              router_policy: str = "threshold",
              monitoring: bool = True,
              label: Optional[str] = None,
-             terminals_per_system: Optional[int] = None) -> RunResult:
+             terminals_per_system: Optional[int] = None,
+             tracing: bool = False) -> RunResult:
     """Run one measured OLTP window and return its results.
 
     ``warmup`` simulated seconds are run and discarded (buffer pools fill,
     WLM utilization estimates settle), then ``duration`` seconds are
-    measured.
+    measured.  With ``tracing=True`` the result's ``extras`` additionally
+    carries ``trace.*`` overhead-attribution keys (µs and %% of mean
+    response per lifecycle category — see :mod:`repro.trace_analysis`).
     """
     plex, _gen = build_loaded_sysplex(
         config,
@@ -81,6 +89,7 @@ def run_oltp(config: SysplexConfig,
         router_policy=router_policy,
         monitoring=monitoring,
         terminals_per_system=terminals_per_system,
+        tracing=tracing,
     )
     plex.sim.run(until=warmup)
     plex.reset_measurement()

@@ -174,6 +174,9 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        if sim._process_watchers:
+            for fn in sim._process_watchers:
+                fn(self, "start")
         # Bootstrap: resume the generator at time now.
         init = Event(sim)
         init._ok = True
@@ -220,12 +223,18 @@ class Process(Event):
                 self._target = None
                 if self._state == _PENDING:
                     self.succeed(exc.value, priority=URGENT)
+                    if self.sim._process_watchers:
+                        for fn in self.sim._process_watchers:
+                            fn(self, "end")
                 return
             except BaseException as exc:
                 self.sim._active_process = None
                 self._target = None
                 if self._state == _PENDING:
                     self.fail(exc, priority=URGENT)
+                    if self.sim._process_watchers:
+                        for fn in self.sim._process_watchers:
+                            fn(self, "end")
                     return
                 raise
 
@@ -310,6 +319,9 @@ class Simulator:
         self._queue: list = []  # (time, priority, seq, event)
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: observers of the process lifecycle (see add_process_watcher);
+        #: empty by default so the hot resume path pays one falsy check
+        self._process_watchers: list = []
 
     # -- clock -------------------------------------------------------------
     @property
@@ -320,6 +332,19 @@ class Simulator:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    def add_process_watcher(
+        self, fn: Callable[[Process, str], None]
+    ) -> None:
+        """Observe the process lifecycle: ``fn(process, event)`` is called
+        with ``"start"`` when a process is registered and ``"end"`` when its
+        generator finishes (normally or with an error).
+
+        Watchers must be passive — they run inside the kernel and must not
+        schedule or trigger events.  The trace facility uses this to close
+        dangling spans when an instrumented process dies mid-span.
+        """
+        self._process_watchers.append(fn)
 
     # -- event construction --------------------------------------------------
     def event(self) -> Event:

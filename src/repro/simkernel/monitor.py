@@ -7,7 +7,8 @@ comes from one of these three collectors.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from bisect import bisect_right
+from typing import Dict, List
 
 import numpy as np
 
@@ -38,13 +39,11 @@ class Counter:
         return (c1 - c0) / (end - start)
 
     def _value_at(self, t: float) -> int:
-        best = 0
-        for when, cnt in self._marks:
-            if when <= t:
-                best = cnt
-            else:
-                break
-        return best
+        # marks are appended at monotonically increasing simulated times,
+        # so the latest mark at-or-before ``t`` is found by binary search
+        # (a linear scan here made sweep-wide rate() queries O(n^2))
+        i = bisect_right(self._marks, t, key=lambda m: m[0])
+        return self._marks[i - 1][1] if i else 0
 
 
 class Tally:

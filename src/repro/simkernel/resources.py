@@ -14,7 +14,7 @@ models buffer-pool free space and similar counted capacity.
 from __future__ import annotations
 
 import heapq
-from typing import Any, List, Optional
+from typing import Any, List
 
 from .core import Event, Simulator, NORMAL
 

@@ -25,7 +25,7 @@ apples-to-apples.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Generator, List, Optional, Set
+from typing import Generator, List, Optional
 
 from ..cf.cache import CacheStructure
 from ..config import DatabaseConfig
@@ -51,12 +51,14 @@ class BufferManager:
     """One database-manager instance's local buffer pool."""
 
     def __init__(self, sim: Simulator, node, config: DatabaseConfig,
-                 farm: DasdFarm, xes: Optional[XesConnection] = None):
+                 farm: DasdFarm, xes: Optional[XesConnection] = None,
+                 trace=None):
         self.sim = sim
         self.node = node
         self.config = config
         self.farm = farm
         self.xes = xes  # None => non-data-sharing
+        self.trace = trace  # Tracer or None (zero-cost when disabled)
         self._pool: "OrderedDict[object, _Buffer]" = OrderedDict()
         self._free_slots: List[int] = list(range(config.buffer_pages))
         # statistics
@@ -104,7 +106,11 @@ class BufferManager:
         # true miss: steal the LRU buffer
         buf, old_name = self._allocate(page)
         if not self.data_sharing:
-            yield from self.farm.read_page(page)
+            tr = self.trace
+            if tr is None:
+                yield from self.farm.read_page(page)
+            else:
+                yield from tr.traced("io", self.farm.read_page(page))
             self.dasd_reads += 1
             return "dasd"
         source = yield from self._register_and_fill(page, buf.slot, old_name)
@@ -159,7 +165,11 @@ class BufferManager:
         if status == "hit":
             self.cf_refreshes += 1
             return "cf"
-        yield from self.farm.read_page(page)
+        tr = self.trace
+        if tr is None:
+            yield from self.farm.read_page(page)
+        else:
+            yield from tr.traced("io", self.farm.read_page(page))
         self.dasd_reads += 1
         return "dasd"
 

@@ -14,7 +14,7 @@ the caller (the transaction manager owns retry policy).
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Iterable, List, Optional, Tuple
+from typing import Dict, Generator, Iterable, List, Tuple
 
 from ..cf.lock import LockMode
 from ..config import DatabaseConfig
@@ -35,13 +35,14 @@ class DatabaseManager:
 
     def __init__(self, sim: Simulator, node, config: DatabaseConfig,
                  lockmgr: LockManager, bufmgr: BufferManager,
-                 logmgr: LogManager):
+                 logmgr: LogManager, trace=None):
         self.sim = sim
         self.node = node
         self.config = config
         self.locks = lockmgr
         self.buffers = bufmgr
         self.log = logmgr
+        self.trace = trace  # Tracer or None (zero-cost when disabled)
         self.alive = True
         self.commits = 0
         self.aborts = 0
@@ -68,24 +69,49 @@ class DatabaseManager:
         # count linear in transactions rather than in database calls
         calls = len(reads) + len(writes)
         half_cpu = 0.5 * calls * self.config.db_call_cpu
+        tr = self.trace
 
-        yield from self.node.cpu.consume(half_cpu)
+        if tr is None:
+            yield from self.node.cpu.consume(half_cpu)
+            for page in reads:
+                if page in write_set:
+                    continue  # will be locked EXCL below
+                self._check_alive()
+                yield from self.locks.lock(owner, page, LockMode.SHR)
+                yield from self.buffers.get_page(page)
+            for page in writes:
+                self._check_alive()
+                yield from self.locks.lock(owner, page, LockMode.EXCL)
+                yield from self.buffers.get_page(page)
+                self.buffers.mark_dirty(page)
+                self.log.log_update(owner, page)
+            self._check_alive()
+            yield from self.node.cpu.consume(half_cpu)
+            yield from self.commit(owner, writes)
+            return
+
+        # traced variant: identical control flow with each lifecycle stage
+        # wrapped in a span (lock / coherency / cpu / commit)
+        yield from tr.traced("cpu", self.node.cpu.consume(half_cpu))
         for page in reads:
             if page in write_set:
                 continue  # will be locked EXCL below
             self._check_alive()
-            yield from self.locks.lock(owner, page, LockMode.SHR)
-            yield from self.buffers.get_page(page)
+            yield from tr.traced(
+                "lock", self.locks.lock(owner, page, LockMode.SHR)
+            )
+            yield from tr.traced("coherency", self.buffers.get_page(page))
         for page in writes:
             self._check_alive()
-            yield from self.locks.lock(owner, page, LockMode.EXCL)
-            yield from self.buffers.get_page(page)
+            yield from tr.traced(
+                "lock", self.locks.lock(owner, page, LockMode.EXCL)
+            )
+            yield from tr.traced("coherency", self.buffers.get_page(page))
             self.buffers.mark_dirty(page)
             self.log.log_update(owner, page)
         self._check_alive()
-        yield from self.node.cpu.consume(half_cpu)
-
-        yield from self.commit(owner, writes)
+        yield from tr.traced("cpu", self.node.cpu.consume(half_cpu))
+        yield from tr.traced("commit", self.commit(owner, writes))
 
     def _check_alive(self) -> None:
         """A task that survived its instance's death (frozen across an

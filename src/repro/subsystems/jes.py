@@ -19,8 +19,8 @@ select work from.  Modeled here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Generator
 
 import numpy as np
 

@@ -23,7 +23,7 @@ hash-class approximation — exactly its role in the real system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from ..cf.lock import LockMode, LockStructure
@@ -254,12 +254,13 @@ class LockManager:
     """One system's lock-manager instance (one CF connector)."""
 
     def __init__(self, sim: Simulator, space: LockSpace, xes: XesConnection,
-                 xcf_config: XcfConfig, system_name: str):
+                 xcf_config: XcfConfig, system_name: str, trace=None):
         self.sim = sim
         self.space = space
         self.xes = xes
         self.xcf_config = xcf_config
         self.system_name = system_name
+        self.trace = trace  # Tracer or None (zero-cost when disabled)
         #: owner -> {resource -> mode} locks held through this instance
         self.held: Dict[object, Dict[object, str]] = {}
         space.managers[system_name] = self
@@ -322,8 +323,14 @@ class LockManager:
 
             # Contention: negotiate with the holders.
             self.negotiations += 1
-            yield from self.xes.node.cpu.consume(NEGOTIATION_CPU)
-            yield self.sim.timeout(self.xcf_config.message_latency)
+            tr = self.trace
+            if tr is None:
+                yield from self.xes.node.cpu.consume(NEGOTIATION_CPU)
+                yield self.sim.timeout(self.xcf_config.message_latency)
+            else:
+                yield from tr.traced(
+                    "lock.negotiate", self._negotiate_cost()
+                )
             self._charge_holders(resource)
 
             if self.space.conflicts_with_retained(resource, mode):
@@ -338,15 +345,25 @@ class LockManager:
             yield from self._wait(owner, resource, mode)
             return
 
+    def _negotiate_cost(self) -> Generator:
+        """Requester-side negotiation cost (split out for span tracing)."""
+        yield from self.xes.node.cpu.consume(NEGOTIATION_CPU)
+        yield self.sim.timeout(self.xcf_config.message_latency)
+
     def _wait(self, owner: object, resource: object, mode: str) -> Generator:
         waiter = _Waiter(owner, mode, Event(self.sim), self, self.sim.now,
                          resource)
         self.space.enqueue(waiter, resource)
+        tr = self.trace
+        span = -1 if tr is None else tr.begin("lock.wait")
         try:
             yield waiter.event
         except DeadlockAbort:
             self.space.remove_waiter(resource, waiter)
             raise
+        finally:
+            if tr is not None:
+                tr.end(span)
         if not self.alive:
             # this instance died (and was swept) while we were queued; the
             # grant we just received must be handed straight back or the

@@ -10,7 +10,7 @@ system failure.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Set
+from typing import Dict, Generator, List
 
 from ..config import DatabaseConfig
 from ..hardware.dasd import DasdDevice

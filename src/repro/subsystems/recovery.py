@@ -14,7 +14,7 @@ mechanism (who runs it differs).
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Generator, List
 
 from ..config import ArmConfig
 from ..simkernel import Simulator

@@ -45,7 +45,7 @@ class TransactionManager:
     def __init__(self, sim: Simulator, node, db: DatabaseManager,
                  config: OltpConfig, wlm: WorkloadManager,
                  metrics: MetricSet, rng: np.random.Generator,
-                 max_tasks: int = 32):
+                 max_tasks: int = 32, trace=None):
         # max_tasks is the region's multiprogramming level: admission
         # control that keeps lock contention from spiralling when the
         # system is pushed past saturation (work queues at the door,
@@ -57,6 +57,7 @@ class TransactionManager:
         self.wlm = wlm
         self.metrics = metrics
         self.rng = rng
+        self.trace = trace  # Tracer or None (zero-cost when disabled)
         self.tasks = Resource(sim, capacity=max_tasks)
         #: set by the operations console during a planned VARY OFFLINE:
         #: no new work is accepted while in-flight tasks drain
@@ -81,8 +82,15 @@ class TransactionManager:
 
     def _run(self, txn) -> Generator:
         req = self.tasks.request()
+        tr = self.trace
         try:
             yield req
+            if tr is not None:
+                # arrival → region task start: routing (incl. any function
+                # shipping) plus admission queueing for a region task
+                tr.record("dispatch", txn.arrival, self.sim.now,
+                          txn.txn_id, self.node.name)
+                tr.bind(txn.txn_id, self.node.name)
             app_half = 0.5 * self.config.app_cpu
             try:
                 for attempt in range(MAX_RETRIES):
@@ -92,11 +100,21 @@ class TransactionManager:
                         if not (self.node.alive and self.db.alive):
                             self._fail(txn)
                             return
-                        yield from self.node.cpu.consume(app_half)
+                        if tr is None:
+                            yield from self.node.cpu.consume(app_half)
+                        else:
+                            yield from tr.traced(
+                                "cpu", self.node.cpu.consume(app_half)
+                            )
                         yield from self.db.execute(
                             txn.txn_id, txn.reads, txn.writes
                         )
-                        yield from self.node.cpu.consume(app_half)
+                        if tr is None:
+                            yield from self.node.cpu.consume(app_half)
+                        else:
+                            yield from tr.traced(
+                                "cpu", self.node.cpu.consume(app_half)
+                            )
                         break
                     except DeadlockAbort:
                         self.deadlock_retries += 1
@@ -135,9 +153,13 @@ class TransactionManager:
             self.metrics.tally("txn.response").record(rt)
             self.metrics.tally(f"txn.response.{self.node.name}").record(rt)
             self.wlm.record_response(txn.service_class, rt)
+            if tr is not None:
+                tr.txn_complete(txn.txn_id, txn.arrival, rt)
             if txn.done is not None and not txn.done.triggered:
                 txn.done.succeed(rt)
         finally:
+            if tr is not None:
+                tr.unbind()
             req.cancel()
 
 
@@ -146,7 +168,8 @@ class SysplexRouter:
 
     def __init__(self, sim: Simulator, tms: List[TransactionManager],
                  wlm: WorkloadManager, xcf_config: XcfConfig,
-                 policy: str = "threshold", threshold: float = 0.85):
+                 policy: str = "threshold", threshold: float = 0.85,
+                 trace=None):
         if policy not in ("local", "threshold", "wlm"):
             raise ValueError(f"unknown routing policy {policy!r}")
         self.sim = sim
@@ -155,6 +178,7 @@ class SysplexRouter:
         self.xcf_config = xcf_config
         self.policy = policy
         self.threshold = threshold
+        self.trace = trace  # Tracer or None (zero-cost when disabled)
         self.shipped = 0
 
     def add_manager(self, tm: TransactionManager) -> None:

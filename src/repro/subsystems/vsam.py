@@ -24,10 +24,9 @@ whole transaction.  ABL-GRAN measures that difference.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Generator, Iterable, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..cf.lock import LockMode
-from ..config import DatabaseConfig
 from ..simkernel import Simulator
 from .buffermgr import BufferManager
 from .lockmgr import LockManager

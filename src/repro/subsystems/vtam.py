@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
-import numpy as np
 
 from ..cf.list import ListEntry
 from ..mvs.wlm import WorkloadManager

@@ -41,6 +41,8 @@ from .subsystems.lockmgr import DeadlockDetector, LockManager, LockSpace
 from .subsystems.logmgr import LogManager
 from .subsystems.recovery import PeerRecovery
 from .subsystems.txn import SysplexRouter, TransactionManager
+from .trace import Tracer
+from .trace_analysis import attribution_extras
 
 __all__ = ["Sysplex", "Instance"]
 
@@ -70,11 +72,16 @@ class Sysplex:
 
     def __init__(self, config: SysplexConfig,
                  monitoring: bool = True,
-                 router_policy: str = "threshold"):
+                 router_policy: str = "threshold",
+                 tracing: bool = False):
         self.config = config
         self.sim = Simulator()
         self.streams = RandomStreams(config.seed)
         self.metrics = MetricSet(self.sim)
+        # transaction-level tracing (overhead attribution): a passive
+        # observer — when off, no tracer object exists and every
+        # instrumentation point reduces to one `is None` test
+        self.tracer = Tracer(self.sim) if tracing else None
 
         # --- hardware -----------------------------------------------------
         self.timer = SysplexTimer(self.sim, sync_interval=1.0)
@@ -90,10 +97,11 @@ class Sysplex:
 
         # --- coupling facilities + structures --------------------------------
         self.cfs: List[CouplingFacility] = []
-        self.xes = XesServices(self.sim, config.cf)
+        self.xes = XesServices(self.sim, config.cf, trace=self.tracer)
         if config.data_sharing and config.n_cfs > 0:
             for i in range(config.n_cfs):
                 cf = CouplingFacility(self.sim, config.cf, name=f"CF{i + 1:02d}")
+                cf.trace = self.tracer
                 self.cfs.append(cf)
                 self.xes.add_facility(cf)
             self.xes.allocate(
@@ -131,6 +139,7 @@ class Sysplex:
             self.wlm,
             config.xcf,
             policy=router_policy,
+            trace=self.tracer,
         )
         for inst in self.instances.values():
             self._register_arm(inst)
@@ -171,18 +180,20 @@ class Sysplex:
 
         lockmgr = LockManager(self.sim, self.lock_space,
                               xes_lock if sharing else _LocalXes(node),
-                              cfg.xcf, node.name)
+                              cfg.xcf, node.name, trace=self.tracer)
         buffers = BufferManager(self.sim, node, cfg.db, self.farm,
-                                xes=xes_cache)
+                                xes=xes_cache, trace=self.tracer)
         log_dev = DasdDevice(self.sim, cfg.dasd,
                              self.streams.stream(f"log-{node.name}"),
                              name=f"log-{node.name}")
         log = LogManager(self.sim, node, cfg.db, log_dev)
-        db = DatabaseManager(self.sim, node, cfg.db, lockmgr, buffers, log)
+        db = DatabaseManager(self.sim, node, cfg.db, lockmgr, buffers, log,
+                             trace=self.tracer)
         tm = TransactionManager(self.sim, node, db, cfg.oltp, self.wlm,
                                 self.metrics,
                                 self.streams.stream(f"tm-{node.name}"),
-                                max_tasks=32 * cfg.cpu.n_cpus)
+                                max_tasks=32 * cfg.cpu.n_cpus,
+                                trace=self.tracer)
         inst = Instance(node, lockmgr, buffers, log, db, tm,
                         xes_lock, xes_cache, xes_list)
         if sharing and not self._has_active_castout():
@@ -433,6 +444,10 @@ class Sysplex:
         if lock_struct is not None:
             extras["false_contention_rate"] = lock_struct.false_contention_rate()
             extras["cf_lock_requests"] = float(lock_struct.requests)
+        if self.tracer is not None:
+            extras.update(
+                attribution_extras(self.tracer, start=start, end=self.sim.now)
+            )
         return RunResult(
             label=label,
             duration=duration,

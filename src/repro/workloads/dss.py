@@ -16,9 +16,8 @@ speedup curve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Sequence
+from typing import Generator, List, Sequence
 
-import numpy as np
 
 from ..config import XcfConfig
 from ..hardware.dasd import DasdFarm

@@ -15,8 +15,8 @@ page access.  Two drive modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Generator, List, Optional
 
 import numpy as np
 
@@ -82,7 +82,8 @@ class OltpGenerator:
                  n_systems: int, rng: np.random.Generator,
                  router, trace: Optional[DemandTrace] = None,
                  partition_affinity: bool = False,
-                 remote_fraction: float = 0.1):
+                 remote_fraction: float = 0.1,
+                 tracer=None):
         """``partition_affinity`` models a *tuned* partitioned workload:
         stream ``i``'s transactions predominantly access the ``i``-th
         contiguous segment of the page space (the data a shared-nothing
@@ -96,6 +97,8 @@ class OltpGenerator:
         self.rng = rng
         self.router = router
         self.trace = trace
+        self.tracer = tracer  # span Tracer or None (distinct from trace,
+        # which is the demand-shape DemandTrace)
         self.sampler = PageSampler(n_pages, config.zipf_theta, rng)
         self.partition_affinity = partition_affinity
         self.remote_fraction = remote_fraction
@@ -112,6 +115,8 @@ class OltpGenerator:
     def make_transaction(self, home: int) -> Transaction:
         self._next_id += 1
         self.generated += 1
+        if self.tracer is not None:
+            self.tracer.count("txn.generated")
         k = self.config.reads_per_txn + self.config.writes_per_txn
         w = self.config.writes_per_txn
         if self.partition_affinity:

@@ -10,7 +10,7 @@ architectures with the same trace.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -4,16 +4,11 @@ import numpy as np
 import pytest
 
 from repro.cf import CouplingFacility, LockStructure, CacheStructure, ListStructure
-from repro.config import CfConfig, CpuConfig, SysplexConfig, XcfConfig
+from repro.config import CpuConfig, SysplexConfig
 from repro.hardware import DasdFarm, LinkSet, SystemNode
 from repro.mvs import XesServices
 from repro.simkernel import Simulator
-from repro.subsystems import (
-    BufferManager,
-    LockManager,
-    LockSpace,
-    LogManager,
-)
+from repro.subsystems import BufferManager, LockManager, LockSpace
 
 
 class MiniPlex:

@@ -1,6 +1,5 @@
 """Tests for the shared-nothing and broadcast-coherency baselines."""
 
-import pytest
 
 from repro.baselines import BroadcastCluster, PartitionedCluster
 from repro.config import DatabaseConfig, SysplexConfig

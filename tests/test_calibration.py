@@ -4,7 +4,7 @@ claims without measurement)."""
 
 import pytest
 
-from repro.config import CpuConfig, SysplexConfig, DatabaseConfig
+from repro.config import CpuConfig, SysplexConfig
 from repro.experiments.common import scaled_config
 from repro.runner import run_oltp
 

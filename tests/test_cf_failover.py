@@ -1,7 +1,6 @@
 """Tests for CF failover: automatic structure rebuild into the alternate
 CF (paper §3.3: "Multiple CF's can be connected for availability")."""
 
-import pytest
 
 from repro.cf import LockMode
 from repro.config import DatabaseConfig, SysplexConfig

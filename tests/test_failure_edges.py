@@ -1,16 +1,8 @@
 """Edge-case failure tests: fail-stop of zombies, CPU purge, link
 outages, CF death mid-command."""
 
-import pytest
 
-from repro.cf import CfFailedError
-from repro.config import (
-    CpuConfig,
-    DatabaseConfig,
-    LinkConfig,
-    SysplexConfig,
-    XcfConfig,
-)
+from repro.config import DatabaseConfig, SysplexConfig
 from repro.hardware import LinkDownError, SystemNode
 from repro.hardware.cpu import SystemDown
 from repro.runner import build_loaded_sysplex

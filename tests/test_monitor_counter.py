@@ -1,0 +1,58 @@
+"""Regression tests for Counter's time-indexed lookups (bisect, not scan)."""
+
+import time
+
+import pytest
+
+from repro.simkernel.monitor import Counter
+
+
+def brute_force_value_at(marks, t):
+    value = 0
+    for mark_t, count in marks:
+        if mark_t <= t:
+            value = count
+        else:
+            break
+    return value
+
+
+def build_counter(n_marks):
+    """One event per simulated millisecond, checkpointed after each."""
+    counter = Counter("txns")
+    for i in range(n_marks):
+        counter.add()
+        counter.mark(i * 0.001)
+    return counter
+
+
+def test_value_at_matches_brute_force():
+    counter = build_counter(500)
+    marks = counter._marks
+    probes = [-1.0, 0.0, 1e-9, 0.0005, 0.1234, 0.25, 0.4995, 0.499,
+              0.5, 10.0]
+    probes += [m[0] for m in marks[::37]]  # exact mark times
+    for t in probes:
+        assert counter._value_at(t) == brute_force_value_at(marks, t), t
+
+
+def test_rate_over_windows():
+    counter = build_counter(1000)  # one event per ms for 1 s
+    # steady stream: any interior window sees ~1000 events/s
+    assert counter.rate(0.1, 0.9) == pytest.approx(1000.0, rel=0.01)
+    assert counter.rate(0.0, 1.0) == pytest.approx(1000.0, rel=0.01)
+    # empty and degenerate windows
+    assert counter.rate(0.5, 0.5) == 0.0
+    assert counter.rate(2.0, 3.0) == 0.0
+
+
+def test_rate_scales_to_many_marks():
+    """The O(n^2) scan made per-window rate() quadratic in marks; with
+    bisect each call is O(log n) and a dense sweep stays fast."""
+    counter = build_counter(20_000)
+    t0 = time.perf_counter()
+    for i in range(2_000):
+        counter.rate(i * 1e-5, i * 1e-5 + 0.01)
+    elapsed = time.perf_counter() - t0
+    # generous bound: quadratic rescans took tens of seconds here
+    assert elapsed < 2.0

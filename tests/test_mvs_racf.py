@@ -1,13 +1,11 @@
 """Tests for the sysplex-wide RACF profile cache (paper §5.1)."""
 
 import numpy as np
-import pytest
 
 from repro.config import DasdConfig
 from repro.hardware import DasdDevice
 from repro.mvs.racf import SecurityManager, SecurityProfile
 
-from conftest import MiniPlex
 
 
 def make_racf(mp, n=2):

@@ -2,7 +2,6 @@
 OFFLINE/ONLINE, rolling upgrade (paper §2.1 single point of control,
 §2.5 planned outages)."""
 
-import pytest
 
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.runner import build_loaded_sysplex

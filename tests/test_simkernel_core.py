@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.simkernel import (
-    AnyOf,
-    Interrupt,
-    SimulationError,
-    Simulator,
-)
+from repro.simkernel import Interrupt, SimulationError, Simulator
 
 
 def test_clock_starts_at_zero():

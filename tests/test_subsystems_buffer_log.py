@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import DasdConfig, DatabaseConfig, SysplexConfig
+from repro.config import DasdConfig, SysplexConfig
 from repro.hardware import DasdDevice
 from repro.subsystems import LogManager
 from repro.subsystems.buffermgr import CastoutEngine

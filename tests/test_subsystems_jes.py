@@ -1,6 +1,5 @@
 """Tests for the JES-style shared batch queue (multi-access spool)."""
 
-import pytest
 
 from repro.cf import ListStructure
 from repro.config import DatabaseConfig, SysplexConfig

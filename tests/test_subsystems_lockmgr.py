@@ -1,7 +1,6 @@
 """Tests for the global lock manager: fast path, negotiation, deadlocks,
 retained locks."""
 
-import pytest
 
 from repro.cf import LockMode
 from repro.subsystems import DeadlockAbort

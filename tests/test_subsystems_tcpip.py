@@ -1,7 +1,6 @@
 """Tests for the TCP/IP single-system-image layer (Sysplex Distributor,
 dynamic VIPA takeover, DNS round-robin baseline)."""
 
-import pytest
 
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.runner import build_loaded_sysplex

@@ -3,14 +3,10 @@ exploiter)."""
 
 import pytest
 
-from repro.cf import LockMode
 from repro.subsystems.vsam import VsamCatalog, VsamDataset, VsamRls
-
-from conftest import MiniPlex
 
 
 def make_rls(mp, index=0, granularity="record", catalog=None):
-    from repro.config import SysplexConfig
     from repro.hardware import DasdDevice
     from repro.subsystems import LogManager
 

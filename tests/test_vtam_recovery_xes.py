@@ -155,7 +155,6 @@ def test_xes_structure_rebuild_into_surviving_cf():
     """CF failover at the XES level: a lost structure is rebuilt in the
     alternate CF and repopulated by the contributors' generators (paper:
     multiple CFs for availability).  Standalone — no Sysplex wiring."""
-    from repro.cf.commands import CfPort
     from repro.config import CfConfig, LinkConfig
     from repro.hardware import LinkSet, SystemNode
     from repro.simkernel import Simulator

@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.config import OltpConfig, SysplexConfig
+from repro.config import OltpConfig
 from repro.simkernel import Simulator
 from repro.workloads import (
     DemandTrace,
     OltpGenerator,
     PageSampler,
-    Query,
     flat_trace,
     rotating_hotspot_trace,
     spike_trace,

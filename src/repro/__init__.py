@@ -32,8 +32,10 @@ from .config import (
     XcfConfig,
     quick_sysplex,
 )
+from .executor import ResultCache, execute
 from .metrics import RunResult, scalability_table
-from .runner import build_loaded_sysplex, run_oltp
+from .runner import build_loaded_sysplex, run_oltp, run_spec
+from .runspec import RunSpec
 from .sysplex import Instance, Sysplex
 from .trace import Span, Tracer
 from .trace_analysis import (
@@ -55,7 +57,9 @@ __all__ = [
     "Instance",
     "LinkConfig",
     "OltpConfig",
+    "ResultCache",
     "RunResult",
+    "RunSpec",
     "Span",
     "Sysplex",
     "SysplexConfig",
@@ -65,9 +69,11 @@ __all__ = [
     "attribute",
     "attribution_delta",
     "build_loaded_sysplex",
+    "execute",
     "format_attribution",
     "quick_sysplex",
     "run_oltp",
+    "run_spec",
     "scalability_table",
     "__version__",
 ]

@@ -12,7 +12,7 @@ All times are in **seconds** (so ``12e-6`` is 12 µs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 __all__ = [
@@ -239,6 +239,33 @@ class SysplexConfig:
             raise ValueError("n_cfs must be >= 0")
         if self.data_sharing and self.n_systems > 1 and self.n_cfs < 1:
             raise ValueError("multi-system data sharing requires a CF")
+
+    def to_dict(self) -> dict:
+        """A plain-data (JSON-serializable) view of the full config tree."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SysplexConfig":
+        """Rebuild a config (and its nested sections) from :meth:`to_dict`."""
+        kw = dict(data)
+        for name, sub_cls in _SUBCONFIG_TYPES.items():
+            if isinstance(kw.get(name), dict):
+                kw[name] = sub_cls(**kw[name])
+        return cls(**kw)
+
+
+#: Nested config sections of :class:`SysplexConfig`, for deserialization.
+_SUBCONFIG_TYPES = {
+    "cpu": CpuConfig,
+    "link": LinkConfig,
+    "dasd": DasdConfig,
+    "cf": CfConfig,
+    "xcf": XcfConfig,
+    "wlm": WlmConfig,
+    "arm": ArmConfig,
+    "db": DatabaseConfig,
+    "oltp": OltpConfig,
+}
 
 
 def quick_sysplex(n_systems: int = 2, n_cpus: int = 1, **kw) -> SysplexConfig:

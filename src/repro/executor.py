@@ -1,0 +1,195 @@
+"""Parallel sweep executor with a content-addressed result cache.
+
+Every quantitative target in the paper is produced by sweeping many
+*independent* simulation runs, so the parallelism lives here — at the
+embarrassingly-parallel process level — and never inside the
+(deliberately deterministic) event kernel.  :func:`execute` takes a list
+of :class:`~repro.runspec.RunSpec` and returns their results in order:
+
+* ``jobs=1`` runs each spec in-process (the pre-refactor behavior);
+* ``jobs>1`` fans the uncached specs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* with a :class:`ResultCache`, results are stored on disk under their
+  spec's content hash (``.runcache/<hash>.json``) and replayed on the
+  next sweep, so re-running after editing one experiment is near-instant.
+
+Determinism contract: for a given spec hash, the returned result is
+bit-identical whether it was computed in-process, in a subprocess, or
+read back from the cache.  To enforce that, *every* path round-trips the
+runner's output through canonical JSON before handing it back — a fresh
+in-process run cannot differ from a cache hit by float formatting or
+dict ordering.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from .metrics import RunResult
+from .runspec import SCHEMA_VERSION, RunSpec, canonical_json
+
+__all__ = ["execute", "ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Where the CLI keeps its cache, relative to the invocation directory.
+DEFAULT_CACHE_DIR = ".runcache"
+
+#: Progress callback: ``fn(index, spec, result, cached, seconds)``.
+OnResult = Callable[[int, RunSpec, Any, bool, float], None]
+
+
+# -- payloads ---------------------------------------------------------------
+# A payload is the JSON form of whatever a runner returned: RunResults are
+# tagged so they rebuild as RunResult, anything else passes through as
+# plain data.
+
+def _payload_from(obj: Any) -> dict:
+    if isinstance(obj, RunResult):
+        return {"kind": "runresult", "data": obj.to_dict()}
+    return {"kind": "json", "data": obj}
+
+
+def _result_from(payload: dict) -> Any:
+    if payload["kind"] == "runresult":
+        return RunResult.from_dict(payload["data"])
+    return payload["data"]
+
+
+def _run_spec_to_payload(spec_dict: dict) -> dict:
+    """Pool worker: rebuild the spec, run it, return its JSON payload.
+
+    Takes and returns plain dicts so the only things crossing the process
+    boundary are JSON-shaped — no code objects, no live simulators.
+    """
+    spec = RunSpec.from_dict(spec_dict)
+    payload = _payload_from(spec.run())
+    # Canonicalize in the worker so the parent's json.loads sees exactly
+    # what a cache file would contain.
+    return json.loads(canonical_json(payload))
+
+
+class ResultCache:
+    """On-disk content-addressed store: ``<root>/<spec hash>.json``.
+
+    Each file records the full spec alongside its payload, so a cache
+    directory is self-describing (and auditable with ``jq``).  Writes are
+    atomic (tempfile + rename); corrupt or schema-stale entries read as
+    misses.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.content_hash()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[dict]:
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, spec: RunSpec, payload: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "hash": spec.content_hash(),
+            "spec": spec.to_dict(),
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(canonical_json(entry))
+            os.replace(tmp, self.path_for(spec))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def _as_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def execute(specs: Sequence[RunSpec],
+            jobs: int = 1,
+            cache: Union[None, str, Path, ResultCache] = None,
+            on_result: Optional[OnResult] = None) -> List[Any]:
+    """Run ``specs`` and return their results, in order.
+
+    ``jobs`` caps the worker processes (1 = in-process, no pool);
+    ``cache`` may be a :class:`ResultCache`, a directory path, or None.
+    ``on_result`` is invoked once per spec as it completes — including
+    cache hits — with ``(index, spec, result, cached, seconds)``.
+    """
+    cache = _as_cache(cache)
+    payloads: List[Optional[dict]] = [None] * len(specs)
+
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            payloads[i] = hit
+        else:
+            pending.append(i)
+
+    if pending:
+        if jobs > 1:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                t0 = {}
+                futures = {}
+                for i in pending:
+                    t0[i] = time.perf_counter()
+                    futures[i] = pool.submit(
+                        _run_spec_to_payload, specs[i].to_dict()
+                    )
+                for i in pending:
+                    payloads[i] = futures[i].result()
+                    _finish(specs[i], payloads[i], cache, on_result, i,
+                            time.perf_counter() - t0[i])
+        else:
+            for i in pending:
+                t0 = time.perf_counter()
+                payloads[i] = json.loads(
+                    canonical_json(_payload_from(specs[i].run()))
+                )
+                _finish(specs[i], payloads[i], cache, on_result, i,
+                        time.perf_counter() - t0)
+
+    results: List[Any] = []
+    for i, (spec, payload) in enumerate(zip(specs, payloads)):
+        result = _result_from(payload)
+        if i not in pending and on_result is not None:
+            on_result(i, spec, result, True, 0.0)
+        results.append(result)
+    return results
+
+
+def _finish(spec: RunSpec, payload: dict, cache: Optional[ResultCache],
+            on_result: Optional[OnResult], index: int,
+            seconds: float) -> None:
+    if cache is not None:
+        cache.put(spec, payload)
+    if on_result is not None:
+        on_result(index, spec, _result_from(payload), False, seconds)

@@ -1,11 +1,14 @@
 """Experiment harness: one module per paper figure/claim (see DESIGN.md).
 
-Each module exposes ``run_*`` functions returning plain row data and a
-``main(quick=...)`` that prints the table the paper's reader would want.
-The benchmark suite under ``benchmarks/`` drives these through
-pytest-benchmark; they are also runnable directly::
+Each module declares its sweep as a list of
+:class:`~repro.runspec.RunSpec` (the ``*_specs`` functions), exposes
+``run_*`` functions returning plain row data, and a
+``main(quick=..., seed=...)`` that prints the table the paper's reader
+would want.  The benchmark suite under ``benchmarks/`` drives these
+through pytest-benchmark; they are also runnable directly::
 
     python -m repro.experiments.fig3_scalability
+    python -m repro.experiments --filter fig3 --jobs 4
 """
 
 from . import (

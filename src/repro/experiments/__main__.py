@@ -1,18 +1,31 @@
-"""Run every experiment and print every table:
+"""Experiment driver CLI.
 
-    python -m repro.experiments            # quick settings (~10 min)
-    python -m repro.experiments --full     # longer, lower-variance runs
+    python -m repro.experiments                      # everything, quick
+    python -m repro.experiments --full               # longer runs
+    python -m repro.experiments --list               # show experiment names
+    python -m repro.experiments --filter fig3        # substring match
+    python -m repro.experiments --jobs 4             # parallel sweeps
+    python -m repro.experiments --no-cache           # always re-simulate
+
+Sweeps inside each experiment fan out over ``--jobs`` worker processes
+and memoise results in a content-addressed on-disk cache (default
+``.runcache/``); a re-run with identical specs replays from the cache in
+seconds.  Results are numerically identical for any ``--jobs`` value and
+for cache hits — every path round-trips through the same canonical JSON.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
+import os
 import time
 
+from ..executor import DEFAULT_CACHE_DIR, ResultCache
 from . import (
     abl_granularity,
     abl_links,
     abl_sync_async,
+    common,
     exp_availability,
     exp_balancing,
     exp_cf_failover,
@@ -48,16 +61,86 @@ ALL = (
 )
 
 
-def main() -> None:
-    quick = "--full" not in sys.argv
+def _short_name(mod) -> str:
+    return mod.__name__.rsplit(".", 1)[-1]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the S/390 Parallel Sysplex reproduction "
+        "experiments.",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="longer, lower-variance runs (default: quick settings)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_only",
+        help="list experiment names and exit",
+    )
+    parser.add_argument(
+        "--filter", default="", metavar="SUBSTR",
+        help="only run experiments whose name contains SUBSTR",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per sweep (0 = one per CPU; default 1, "
+        "in-process)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="master random seed for every experiment (default: 1)",
+    )
+    parser.add_argument(
+        "--csv-dir", default=None, metavar="DIR",
+        help="also write each printed table to DIR as CSV",
+    )
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+
+    selected = [m for m in ALL if args.filter in _short_name(m)]
+    if args.list_only:
+        for mod in ALL:
+            print(_short_name(mod))
+        return
+    if not selected:
+        names = ", ".join(_short_name(m) for m in ALL)
+        raise SystemExit(
+            f"--filter {args.filter!r} matches no experiment (have: {names})"
+        )
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    common.set_execution(jobs=jobs, cache=cache, csv_dir=args.csv_dir,
+                         progress=True)
+
+    quick = not args.full
     t0 = time.time()
-    for mod in ALL:
+    for mod in selected:
         print("\n" + "#" * 72)
         print("#", mod.__name__)
         print("#" * 72)
-        mod.main(quick=quick)
-    print(f"\nall {len(ALL)} experiments done in {time.time() - t0:.0f}s "
-          f"({'quick' if quick else 'full'} settings)")
+        mod.main(quick=quick, seed=args.seed)
+    line = (
+        f"\n{len(selected)}/{len(ALL)} experiments done in "
+        f"{time.time() - t0:.0f}s "
+        f"({'quick' if quick else 'full'} settings, jobs={jobs}"
+    )
+    if cache is not None:
+        line += f", cache {cache.hits} hits / {cache.misses} misses"
+    print(line + ")")
 
 
 if __name__ == "__main__":

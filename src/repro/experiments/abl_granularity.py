@@ -22,18 +22,39 @@ from typing import Dict, List
 
 from ..hardware.dasd import DasdDevice
 from ..runner import build_loaded_sysplex
+from ..runspec import RunSpec
 from ..simkernel import Tally
 from ..subsystems.logmgr import LogManager
 from ..subsystems.vsam import VsamCatalog, VsamRls
-from .common import print_rows, scaled_config
+from .common import print_rows, scaled_config, sweep
 
-__all__ = ["run_granularity", "main"]
+__all__ = ["run_granularity", "granularity_specs", "main"]
+
+CASE_RUNNER = "repro.experiments.abl_granularity:run_case_spec"
 
 
-def _run_case(granularity: str, n_systems: int, hot_records: int,
-              duration: float, warmup: float, seed: int) -> dict:
-    config = scaled_config(n_systems, seed=seed)
-    plex, gen = build_loaded_sysplex(config, mode="closed",
+def granularity_specs(n_systems: int = 4, hot_records: int = 800,
+                      duration: float = 0.8, warmup: float = 0.3,
+                      seed: int = 1) -> List[RunSpec]:
+    """Declare the two lock-granularity cases over the same workload."""
+    return [
+        RunSpec(
+            runner=CASE_RUNNER,
+            config=scaled_config(n_systems, seed=seed),
+            duration=duration, warmup=warmup, label=granularity,
+            params={"granularity": granularity, "hot_records": hot_records},
+        )
+        for granularity in ("record", "ci")
+    ]
+
+
+def run_case_spec(spec: RunSpec) -> dict:
+    """Scenario runner: hot keyed updates at one lock granularity."""
+    granularity = spec.params["granularity"]
+    hot_records = spec.params["hot_records"]
+    config = spec.config
+    duration, warmup = spec.duration, spec.warmup
+    plex, gen = build_loaded_sysplex(config, mode=spec.mode,
                                      terminals_per_system=0)
     catalog = VsamCatalog(first_page=10_000_000)
     catalog.define("HOT", max_cis=2_000, records_per_ci=20)
@@ -95,7 +116,7 @@ def _run_case(granularity: str, n_systems: int, hot_records: int,
     completed = done[0] - base
     return {
         "granularity": granularity,
-        "systems": n_systems,
+        "systems": config.n_systems,
         "throughput": completed / duration,
         "mean_rt_ms": 1e3 * rt.mean,
         "p95_ms": 1e3 * rt.percentile(95),
@@ -107,15 +128,13 @@ def _run_case(granularity: str, n_systems: int, hot_records: int,
 def run_granularity(n_systems: int = 4, hot_records: int = 800,
                     duration: float = 0.8, warmup: float = 0.3,
                     seed: int = 1) -> Dict:
-    rows = [
-        _run_case("record", n_systems, hot_records, duration, warmup, seed),
-        _run_case("ci", n_systems, hot_records, duration, warmup, seed),
-    ]
+    rows = sweep(granularity_specs(n_systems, hot_records, duration,
+                                   warmup, seed))
     return {"rows": rows}
 
 
-def main(quick: bool = True) -> Dict:
-    out = run_granularity(duration=0.8 if quick else 2.0)
+def main(quick: bool = True, seed: int = 1) -> Dict:
+    out = run_granularity(duration=0.8 if quick else 2.0, seed=seed)
     print_rows(
         "ABL-GRAN — record-level vs CI-level locking (hot keyed updates)",
         out["rows"],

@@ -13,26 +13,43 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..config import LinkConfig
-from ..runner import run_oltp
-from .common import QUICK, print_rows, scaled_config
+from ..runspec import RunSpec
+from .common import QUICK, print_rows, scaled_config, sweep
 
-__all__ = ["run_links", "main"]
+__all__ = ["run_links", "links_specs", "main"]
 
 BANDWIDTHS = (50e6, 100e6, 500e6)
+
+
+def links_specs(bandwidths=BANDWIDTHS,
+                duration: float = QUICK["duration"],
+                warmup: float = QUICK["warmup"],
+                seed: int = 1) -> List[RunSpec]:
+    """Declare the link sweep: the non-sharing base, then each speed."""
+    specs = [RunSpec(
+        config=scaled_config(1, 1, data_sharing=False, seed=seed),
+        duration=duration, warmup=warmup, label="base-noDS",
+    )]
+    specs += [
+        RunSpec(
+            config=scaled_config(2, seed=seed,
+                                 link=LinkConfig(bandwidth=bw)),
+            duration=duration, warmup=warmup, label=f"{bw / 1e6:.0f}MBs",
+        )
+        for bw in bandwidths
+    ]
+    return specs
 
 
 def run_links(bandwidths=BANDWIDTHS,
               duration: float = QUICK["duration"],
               warmup: float = QUICK["warmup"],
               seed: int = 1) -> Dict:
-    base = run_oltp(scaled_config(1, 1, data_sharing=False, seed=seed),
-                    duration=duration, warmup=warmup)
+    results = sweep(links_specs(bandwidths, duration, warmup, seed))
+    base = results[0]
     base_cpu = base.mean_utilization * base.duration / max(base.completed, 1)
     rows: List[dict] = []
-    for bw in bandwidths:
-        config = scaled_config(2, seed=seed, link=LinkConfig(bandwidth=bw))
-        r = run_oltp(config, duration=duration, warmup=warmup,
-                     label=f"{bw / 1e6:.0f}MBs")
+    for bw, r in zip(bandwidths, results[1:]):
         cpu = r.mean_utilization * 2 * r.duration / max(r.completed, 1)
         rows.append(
             {
@@ -47,9 +64,9 @@ def run_links(bandwidths=BANDWIDTHS,
     return {"rows": rows}
 
 
-def main(quick: bool = True) -> Dict:
+def main(quick: bool = True, seed: int = 1) -> Dict:
     kw = QUICK if quick else {"duration": 1.0, "warmup": 0.5}
-    out = run_links(duration=kw["duration"], warmup=kw["warmup"])
+    out = run_links(duration=kw["duration"], warmup=kw["warmup"], seed=seed)
     print_rows(
         "ABL-LINK — coupling link bandwidth vs data-sharing cost (2-way)",
         out["rows"],

@@ -14,7 +14,7 @@ the trade the real product exposes as a heuristic).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from ..cf.commands import CfPort
 from ..cf.facility import CouplingFacility
@@ -22,13 +22,40 @@ from ..cf.lock import LockMode, LockStructure
 from ..config import CfConfig, LinkConfig, SysplexConfig
 from ..hardware.links import LinkSet
 from ..hardware.system import SystemNode
+from ..runspec import RunSpec
 from ..simkernel import Simulator, Tally
-from .common import print_rows
+from .common import print_rows, sweep
 
-__all__ = ["run_sync_async", "main"]
+__all__ = ["run_sync_async", "sync_async_specs", "main"]
+
+CASE_RUNNER = "repro.experiments.abl_sync_async:run_case_spec"
+
+LATENCIES = (2e-6, 10e-6, 50e-6, 200e-6)
 
 
-def _measure(mode: str, link_latency: float, n_ops: int = 300) -> dict:
+def sync_async_specs(latencies: Sequence[float] = LATENCIES,
+                     n_ops: int = 300) -> List[RunSpec]:
+    """Declare a (sync, async) measurement pair per link latency.
+
+    These probes build their own bare Simulator + CF, so the specs carry
+    no SysplexConfig — everything lives in ``params``.
+    """
+    return [
+        RunSpec(
+            runner=CASE_RUNNER, config=None,
+            label=f"{mode}-{1e6 * lat:.0f}us",
+            params={"mode": mode, "link_latency": lat, "n_ops": n_ops},
+        )
+        for lat in latencies
+        for mode in ("sync", "async")
+    ]
+
+
+def run_case_spec(spec: RunSpec) -> dict:
+    """Scenario runner: one command mode at one link latency."""
+    mode = spec.params["mode"]
+    link_latency = spec.params["link_latency"]
+    n_ops = spec.params["n_ops"]
     sim = Simulator()
     config = SysplexConfig(n_systems=1)
     node = SystemNode(sim, config, 0)
@@ -62,11 +89,8 @@ def _measure(mode: str, link_latency: float, n_ops: int = 300) -> dict:
     }
 
 
-def run_sync_async(latencies=(2e-6, 10e-6, 50e-6, 200e-6)) -> Dict:
-    rows: List[dict] = []
-    for lat in latencies:
-        rows.append(_measure("sync", lat))
-        rows.append(_measure("async", lat))
+def run_sync_async(latencies: Sequence[float] = LATENCIES) -> Dict:
+    rows = sweep(sync_async_specs(latencies))
     # find the crossover: smallest latency where async burns less CPU
     crossover = None
     for lat in latencies:
@@ -79,7 +103,7 @@ def run_sync_async(latencies=(2e-6, 10e-6, 50e-6, 200e-6)) -> Dict:
     return {"rows": rows, "summary": {"async_wins_at_us": crossover}}
 
 
-def main(quick: bool = True) -> Dict:
+def main(quick: bool = True, seed: int = 1) -> Dict:
     out = run_sync_async()
     print_rows(
         "ABL-SYNC — sync vs async CF command execution",

@@ -6,24 +6,98 @@ so the curves measure the architecture, not a fixed hot spot.  Every
 experiment function returns plain data (lists of dict rows) plus offers a
 ``print_rows`` rendering so the benchmark harness output reads like the
 paper's tables.
+
+Experiments *declare* their sweep as a list of
+:class:`~repro.runspec.RunSpec` and hand it to :func:`sweep`, which
+forwards to :func:`repro.executor.execute` using the session-wide
+execution options (process-pool width, result cache) that the
+``python -m repro.experiments`` CLI configures via :func:`set_execution`.
+Called directly — as the pytest-benchmark harness does — the defaults
+are ``jobs=1`` and no cache, i.e. plain in-process runs.
 """
 
 from __future__ import annotations
 
-from typing import List
+import csv
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..config import (
     CpuConfig,
     DatabaseConfig,
     SysplexConfig,
 )
+from ..executor import ResultCache, execute
+from ..runspec import RunSpec
 
-__all__ = ["scaled_config", "print_rows", "QUICK", "FULL"]
+__all__ = [
+    "scaled_config",
+    "print_rows",
+    "write_csv",
+    "sweep",
+    "set_execution",
+    "QUICK",
+    "FULL",
+]
 
 #: quick settings: used by the pytest-benchmark harness (CI-sized)
 QUICK = {"duration": 0.4, "warmup": 0.3}
 #: full settings: for the standalone scripts
 FULL = {"duration": 1.5, "warmup": 0.8}
+
+#: Session-wide execution options, set once by the CLI.  ``jobs=1`` and
+#: ``cache=None`` keep library/benchmark callers on the exact
+#: pre-executor in-process behavior.
+EXECUTION: Dict[str, Any] = {
+    "jobs": 1,
+    "cache": None,
+    "csv_dir": None,
+    "progress": False,
+}
+
+_UNSET = object()
+
+
+def set_execution(jobs: Optional[int] = None,
+                  cache: Union[None, str, Path, ResultCache,
+                               object] = _UNSET,
+                  csv_dir: Union[None, str, Path, object] = _UNSET,
+                  progress: Optional[bool] = None) -> None:
+    """Configure how :func:`sweep` executes (the CLI calls this once)."""
+    if jobs is not None:
+        EXECUTION["jobs"] = max(1, int(jobs))
+    if cache is not _UNSET:
+        EXECUTION["cache"] = cache
+    if csv_dir is not _UNSET:
+        EXECUTION["csv_dir"] = Path(csv_dir) if csv_dir else None
+    if progress is not None:
+        EXECUTION["progress"] = progress
+
+
+def sweep(specs: Sequence[RunSpec],
+          jobs: Optional[int] = None,
+          cache: Union[None, str, Path, ResultCache, object] = _UNSET
+          ) -> List[Any]:
+    """Execute a declared sweep under the session execution options.
+
+    Results come back in spec order; each is a
+    :class:`~repro.metrics.RunResult` or the scenario runner's plain-data
+    payload.  Explicit ``jobs``/``cache`` override the session options
+    (pass ``cache=None`` to force a cache-off run).
+    """
+    jobs = EXECUTION["jobs"] if jobs is None else jobs
+    cache = EXECUTION["cache"] if cache is _UNSET else cache
+    on_result = _progress_line if EXECUTION["progress"] else None
+    return execute(specs, jobs=jobs, cache=cache, on_result=on_result)
+
+
+def _progress_line(index: int, spec: RunSpec, result: Any,
+                   cached: bool, seconds: float) -> None:
+    label = spec.label or spec.runner
+    note = "cache" if cached else f"{seconds:5.1f}s"
+    print(f"  [{note}] {label}", file=sys.stderr, flush=True)
 
 
 def scaled_config(n_systems: int, n_cpus: int = 1,
@@ -47,8 +121,14 @@ def scaled_config(n_systems: int, n_cpus: int = 1,
     )
 
 
-def print_rows(title: str, rows: List[dict], columns: List[str]) -> None:
-    """Render rows as a fixed-width table (the bench harness output)."""
+def print_rows(title: str, rows: List[dict], columns: List[str],
+               csv_path: Union[None, str, Path] = None) -> None:
+    """Render rows as a fixed-width table (the bench harness output).
+
+    ``csv_path`` additionally archives the table as a CSV artifact; when
+    the CLI sets a session ``csv_dir``, every printed table is archived
+    there under a slug of its title.
+    """
     print(f"\n== {title} ==")
     widths = {
         c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c)
@@ -59,6 +139,29 @@ def print_rows(title: str, rows: List[dict], columns: List[str]) -> None:
     print("-" * len(header))
     for r in rows:
         print("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
+    if csv_path is None and EXECUTION["csv_dir"] is not None:
+        csv_path = EXECUTION["csv_dir"] / f"{_slug(title)}.csv"
+    if csv_path is not None:
+        write_csv(csv_path, rows, columns)
+
+
+def write_csv(path: Union[str, Path], rows: List[dict],
+              columns: List[str]) -> Path:
+    """Archive sweep rows as a CSV file (parents created as needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore",
+                                restval="")
+        writer.writeheader()
+        for r in rows:
+            writer.writerow({c: r.get(c, "") for c in columns})
+    return path
+
+
+def _slug(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    return slug[:80] or "table"
 
 
 def _fmt(v) -> str:

@@ -18,16 +18,26 @@ from typing import Dict, List
 
 from ..hardware.failures import FailureInjector
 from ..runner import build_loaded_sysplex
-from .common import print_rows, scaled_config
+from ..runspec import RunSpec
+from .common import print_rows, scaled_config, sweep
 
-__all__ = ["run_availability", "run_rolling_maintenance", "main"]
+__all__ = [
+    "run_availability",
+    "run_rolling_maintenance",
+    "availability_spec",
+    "rolling_spec",
+    "main",
+]
+
+UNPLANNED_RUNNER = "repro.experiments.exp_availability:run_unplanned_spec"
+ROLLING_RUNNER = "repro.experiments.exp_availability:run_rolling_spec"
 
 
-def run_availability(n_systems: int = 4,
-                     offered_fraction: float = 0.5,
-                     window: float = 0.5,
-                     seed: int = 1) -> Dict:
-    """Kill one of N systems; report the throughput timeline."""
+def availability_spec(n_systems: int = 4,
+                      offered_fraction: float = 0.5,
+                      window: float = 0.5,
+                      seed: int = 1) -> RunSpec:
+    """Declare the unplanned-outage scenario."""
     from ..config import ArmConfig, XcfConfig
 
     # an availability-tuned sysplex: aggressive SFM detection interval and
@@ -38,12 +48,24 @@ def run_availability(n_systems: int = 4,
         arm=ArmConfig(restart_time=0.5, log_replay_time=0.3),
         xcf=XcfConfig(heartbeat_interval=0.25),
     )
+    return RunSpec(
+        runner=UNPLANNED_RUNNER, config=config, mode="open",
+        router_policy="wlm", label=f"avail-unplanned-{n_systems}",
+        params={"offered_fraction": offered_fraction, "window": window},
+    )
+
+
+def run_unplanned_spec(spec: RunSpec) -> Dict:
+    """Scenario runner: kill one of N systems, report the timeline."""
+    config = spec.config
+    n_systems = config.n_systems
+    window = spec.params["window"]
     # per-system capacity at ~360tps/engine; offered at fraction of total
     per_system_capacity = 330.0
-    offered = per_system_capacity * offered_fraction
+    offered = per_system_capacity * spec.params["offered_fraction"]
     plex, gen = build_loaded_sysplex(
-        config, mode="open", offered_tps_per_system=offered,
-        router_policy="wlm",
+        config, mode=spec.mode, offered_tps_per_system=offered,
+        router_policy=spec.router_policy,
     )
     fail_at = 3 * window
     victim = plex.nodes[n_systems - 1]
@@ -88,14 +110,35 @@ def run_availability(n_systems: int = 4,
     return {"timeline": timeline, "summary": summary}
 
 
-def run_rolling_maintenance(n_systems: int = 3,
-                            outage: float = 2.0,
-                            seed: int = 1) -> Dict:
-    """Planned outages rolled one system at a time (§2.5)."""
-    config = scaled_config(n_systems, seed=seed)
+def run_availability(n_systems: int = 4,
+                     offered_fraction: float = 0.5,
+                     window: float = 0.5,
+                     seed: int = 1) -> Dict:
+    """Kill one of N systems; report the throughput timeline."""
+    return sweep([availability_spec(n_systems, offered_fraction, window,
+                                    seed)])[0]
+
+
+def rolling_spec(n_systems: int = 3,
+                 outage: float = 2.0,
+                 seed: int = 1) -> RunSpec:
+    """Declare the planned rolling-maintenance scenario."""
+    return RunSpec(
+        runner=ROLLING_RUNNER, config=scaled_config(n_systems, seed=seed),
+        mode="open", offered_tps_per_system=180.0, router_policy="wlm",
+        label=f"avail-rolling-{n_systems}", params={"outage": outage},
+    )
+
+
+def run_rolling_spec(spec: RunSpec) -> Dict:
+    """Scenario runner: outages rolled one system at a time (§2.5)."""
+    config = spec.config
+    n_systems = config.n_systems
+    outage = spec.params["outage"]
     plex, gen = build_loaded_sysplex(
-        config, mode="open", offered_tps_per_system=180.0,
-        router_policy="wlm",
+        config, mode=spec.mode,
+        offered_tps_per_system=spec.offered_tps_per_system,
+        router_policy=spec.router_policy,
     )
     inj = FailureInjector(plex.sim)
     inj.rolling_maintenance(plex.nodes, start=1.0, outage=outage, gap=1.5)
@@ -128,8 +171,20 @@ def run_rolling_maintenance(n_systems: int = 3,
     }
 
 
-def main(quick: bool = True) -> Dict:
-    out = run_availability(window=0.4 if quick else 0.6)
+def run_rolling_maintenance(n_systems: int = 3,
+                            outage: float = 2.0,
+                            seed: int = 1) -> Dict:
+    """Planned outages rolled one system at a time (§2.5)."""
+    return sweep([rolling_spec(n_systems, outage, seed)])[0]
+
+
+def main(quick: bool = True, seed: int = 1) -> Dict:
+    # both scenarios are independent: declare them together so a parallel
+    # executor overlaps them
+    out, roll = sweep([
+        availability_spec(window=0.4 if quick else 0.6, seed=seed),
+        rolling_spec(outage=1.2 if quick else 2.0, seed=seed),
+    ])
     print_rows(
         "EXP-AVAIL — unplanned outage of 1 of 4 systems",
         out["timeline"],
@@ -142,7 +197,6 @@ def main(quick: bool = True) -> Dict:
         f"(continuity {100 * s['continuity_ratio']:.1f}%), "
         f"recovered at t={s['recovered_at']}"
     )
-    roll = run_rolling_maintenance(outage=1.2 if quick else 2.0)
     print_rows(
         "EXP-AVAIL — planned rolling maintenance (3 systems)",
         roll["timeline"],

@@ -19,15 +19,19 @@ small = balanced), and lost transactions.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..baselines.partitioned import PartitionedCluster
+from ..runspec import RunSpec
 from ..sysplex import Sysplex
 from ..workloads.oltp import OltpGenerator
 from ..workloads.traces import rotating_hotspot_trace
-from .common import print_rows, scaled_config
+from .common import print_rows, scaled_config, sweep
 
-__all__ = ["run_balancing", "main"]
+__all__ = ["run_balancing", "balancing_specs", "main"]
+
+#: Dotted runner path for one architecture-under-hotspot case.
+CASE_RUNNER = "repro.experiments.exp_balancing:run_case_spec"
 
 
 def _make_generator(sim_owner, config, trace, router):
@@ -64,6 +68,61 @@ def _measure(owner, gen, offered, duration, warmup, label):
     return owner.collect(label)
 
 
+def run_case_spec(spec: RunSpec):
+    """Scenario runner: one architecture under the rotating hotspot.
+
+    ``spec.params["case"]`` selects ``"partitioned"`` or a sysplex router
+    policy; the demand trace is rebuilt from the spec so every case sees
+    the same spikes-and-troughs schedule.
+    """
+    case = spec.params["case"]
+    spike_factor = spec.params["spike_factor"]
+    config = spec.config
+    step = 0.3
+    n_steps = int((spec.duration + spec.warmup) / step) + 2
+    trace = rotating_hotspot_trace(config.n_systems, step, n_steps,
+                                   spike_factor)
+    if case == "partitioned":
+        owner = PartitionedCluster(config)
+        gen = _make_generator(owner, config, trace, owner)
+        _prewarm_partitioned(owner, gen, config)
+    else:
+        owner = Sysplex(config, router_policy=case)
+        gen = _make_generator(owner, config, trace, owner.router)
+        _prewarm_sysplex(owner, gen, config)
+    return _measure(owner, gen, spec.offered_tps_per_system, spec.duration,
+                    spec.warmup, spec.label)
+
+
+def balancing_specs(n_systems: int = 4,
+                    offered_per_system: float = 220.0,
+                    spike_factor: float = 3.0,
+                    duration: float = 1.2,
+                    warmup: float = 0.4,
+                    seed: int = 1) -> List[RunSpec]:
+    """Declare the four architecture cases as one sweep."""
+    specs = [RunSpec(
+        runner=CASE_RUNNER,
+        config=scaled_config(n_systems, data_sharing=False, seed=seed),
+        duration=duration, warmup=warmup,
+        offered_tps_per_system=offered_per_system,
+        label="partitioned",
+        params={"case": "partitioned", "spike_factor": spike_factor},
+    )]
+    specs += [
+        RunSpec(
+            runner=CASE_RUNNER,
+            config=scaled_config(n_systems, seed=seed),
+            duration=duration, warmup=warmup,
+            offered_tps_per_system=offered_per_system,
+            label=f"sysplex-{policy}",
+            params={"case": policy, "spike_factor": spike_factor},
+        )
+        for policy in ("local", "threshold", "wlm")
+    ]
+    return specs
+
+
 def run_balancing(n_systems: int = 4,
                   offered_per_system: float = 220.0,
                   spike_factor: float = 3.0,
@@ -71,33 +130,8 @@ def run_balancing(n_systems: int = 4,
                   warmup: float = 0.4,
                   seed: int = 1) -> Dict:
     """Compare architectures under the same skewed, shifting demand."""
-    step = 0.3
-    n_steps = int((duration + warmup) / step) + 2
-
-    results = []
-    # --- partitioned baseline -------------------------------------------
-    config = scaled_config(n_systems, data_sharing=False, seed=seed)
-    cluster = PartitionedCluster(config)
-    trace = rotating_hotspot_trace(n_systems, step, n_steps, spike_factor)
-    gen = _make_generator(cluster, config, trace, cluster)
-    _prewarm_partitioned(cluster, gen, config)
-    results.append(
-        _measure(cluster, gen, offered_per_system, duration, warmup,
-                 "partitioned")
-    )
-
-    # --- sysplex under each routing policy -----------------------------------
-    for policy in ("local", "threshold", "wlm"):
-        config = scaled_config(n_systems, seed=seed)
-        plex = Sysplex(config, router_policy=policy)
-        trace = rotating_hotspot_trace(n_systems, step, n_steps, spike_factor)
-        gen = _make_generator(plex, config, trace, plex.router)
-        _prewarm_sysplex(plex, gen, config)
-        results.append(
-            _measure(plex, gen, offered_per_system, duration, warmup,
-                     f"sysplex-{policy}")
-        )
-
+    results = sweep(balancing_specs(n_systems, offered_per_system,
+                                    spike_factor, duration, warmup, seed))
     rows = [
         {
             "architecture": r.label,
@@ -112,9 +146,10 @@ def run_balancing(n_systems: int = 4,
     return {"rows": rows}
 
 
-def main(quick: bool = True) -> Dict:
+def main(quick: bool = True, seed: int = 1) -> Dict:
     out = run_balancing(
-        duration=0.9 if quick else 2.4, warmup=0.3 if quick else 0.8
+        duration=0.9 if quick else 2.4, warmup=0.3 if quick else 0.8,
+        seed=seed,
     )
     print_rows(
         "EXP-BAL — balancing under a rotating demand hotspot",

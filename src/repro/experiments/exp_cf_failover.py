@@ -16,15 +16,29 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..runner import build_loaded_sysplex
-from .common import print_rows, scaled_config
+from ..runspec import RunSpec
+from .common import print_rows, scaled_config, sweep
 
-__all__ = ["run_cf_failover", "main"]
+__all__ = ["run_cf_failover", "cf_failover_spec", "main"]
+
+CASE_RUNNER = "repro.experiments.exp_cf_failover:run_cf_failover_spec"
 
 
-def run_cf_failover(n_systems: int = 4,
-                    window: float = 0.3,
-                    seed: int = 1) -> Dict:
-    config = scaled_config(n_systems, seed=seed, n_cfs=2)
+def cf_failover_spec(n_systems: int = 4,
+                     window: float = 0.3,
+                     seed: int = 1) -> RunSpec:
+    """Declare the dual-CF loss scenario."""
+    return RunSpec(
+        runner=CASE_RUNNER,
+        config=scaled_config(n_systems, seed=seed, n_cfs=2),
+        label=f"cf-failover-{n_systems}", params={"window": window},
+    )
+
+
+def run_cf_failover_spec(spec: RunSpec) -> Dict:
+    """Scenario runner: lose 1 of 2 CFs mid-run, watch the rebuild."""
+    config = spec.config
+    window = spec.params["window"]
     plex, gen = build_loaded_sysplex(config, mode="closed")
     fail_at = 4 * window
     plex.sim.call_at(fail_at,
@@ -64,8 +78,14 @@ def run_cf_failover(n_systems: int = 4,
     }
 
 
-def main(quick: bool = True) -> Dict:
-    out = run_cf_failover(window=0.3 if quick else 0.5)
+def run_cf_failover(n_systems: int = 4,
+                    window: float = 0.3,
+                    seed: int = 1) -> Dict:
+    return sweep([cf_failover_spec(n_systems, window, seed)])[0]
+
+
+def main(quick: bool = True, seed: int = 1) -> Dict:
+    out = run_cf_failover(window=0.3 if quick else 0.5, seed=seed)
     print_rows(
         "EXP-CFFAIL — losing 1 of 2 Coupling Facilities mid-run",
         out["timeline"],

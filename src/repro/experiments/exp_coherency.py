@@ -19,16 +19,23 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..baselines.broadcast import BroadcastCluster
-from ..runner import run_oltp
+from ..runspec import RunSpec
 from ..workloads.oltp import OltpGenerator
 from .common import QUICK, print_rows, scaled_config
+from .common import sweep as _sweep
 
-__all__ = ["run_coherency", "main"]
+__all__ = ["run_coherency", "coherency_specs", "main"]
 
 SWEEP = (2, 4, 8, 12)
 
+#: Dotted runner path for the broadcast-coherency scenario (importable
+#: from a pool worker regardless of how this module was loaded).
+BROADCAST_RUNNER = "repro.experiments.exp_coherency:run_broadcast_spec"
 
-def _run_broadcast(config, duration, warmup):
+
+def run_broadcast_spec(spec: RunSpec):
+    """Scenario runner: one measured window on the broadcast baseline."""
+    config = spec.config
     cluster = BroadcastCluster(config)
     gen = OltpGenerator(
         cluster.sim, config.oltp, config.db.n_pages, config.n_systems,
@@ -41,26 +48,41 @@ def _run_broadcast(config, duration, warmup):
             stack["pool"][page] = 0
             stack["pool_order"].append(page)
     gen.start_closed_loop(config.oltp.terminals_per_cpu * config.cpu.n_cpus)
-    cluster.sim.run(until=warmup)
+    cluster.sim.run(until=spec.warmup)
     cluster.reset_measurement()
-    cluster.sim.run(until=warmup + duration)
-    return cluster.collect(f"broadcast-{config.n_systems}")
+    cluster.sim.run(until=spec.warmup + spec.duration)
+    return cluster.collect(spec.label or f"broadcast-{config.n_systems}")
+
+
+def coherency_specs(sweep: Sequence[int] = SWEEP,
+                    duration: float = QUICK["duration"],
+                    warmup: float = QUICK["warmup"],
+                    seed: int = 1) -> List[RunSpec]:
+    """Declare (CF, broadcast) spec pairs for each sysplex size."""
+    specs: List[RunSpec] = []
+    for n in sweep:
+        specs.append(RunSpec(
+            config=scaled_config(n, seed=seed),
+            duration=duration, warmup=warmup, label=f"cf-{n}",
+        ))
+        specs.append(RunSpec(
+            runner=BROADCAST_RUNNER,
+            config=scaled_config(n, data_sharing=False, seed=seed),
+            duration=duration, warmup=warmup, label=f"broadcast-{n}",
+        ))
+    return specs
 
 
 def run_coherency(sweep: Sequence[int] = SWEEP,
                   duration: float = QUICK["duration"],
                   warmup: float = QUICK["warmup"],
                   seed: int = 1) -> Dict:
+    results = _sweep(coherency_specs(sweep, duration, warmup, seed))
     rows: List[dict] = []
-    for n in sweep:
-        cf_cfg = scaled_config(n, seed=seed)
-        r_cf = run_oltp(cf_cfg, duration=duration, warmup=warmup,
-                        label=f"cf-{n}")
+    for i, n in enumerate(sweep):
+        r_cf, r_bc = results[2 * i], results[2 * i + 1]
         cpu_cf = (r_cf.mean_utilization * n * r_cf.duration
                   / max(r_cf.completed, 1))
-
-        bc_cfg = scaled_config(n, data_sharing=False, seed=seed)
-        r_bc = _run_broadcast(bc_cfg, duration, warmup)
         cpu_bc = (r_bc.mean_utilization * n * r_bc.duration
                   / max(r_bc.completed, 1))
 
@@ -92,9 +114,10 @@ def check_shape(rows: List[dict]) -> List[str]:
     return problems
 
 
-def main(quick: bool = True) -> Dict:
+def main(quick: bool = True, seed: int = 1) -> Dict:
     kw = QUICK if quick else {"duration": 1.0, "warmup": 0.5}
-    out = run_coherency(duration=kw["duration"], warmup=kw["warmup"])
+    out = run_coherency(duration=kw["duration"], warmup=kw["warmup"],
+                        seed=seed)
     print_rows(
         "EXP-COHER — CF vs broadcast coherency",
         out["rows"],

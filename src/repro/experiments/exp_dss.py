@@ -5,7 +5,7 @@ sub-queries, and distributing the component queries across multiple
 processors (cpu) within a single system or across multiple systems in a
 parallel sysplex."
 
-One large scan query is decomposed at parallelism 1..K across an
+One large scan query is decomposed at parallelism 1..K, each point on an
 idle 8-system sysplex; we report elapsed time, speedup, and efficiency —
 the expected near-linear region followed by the coordination-bound tail.
 """
@@ -15,45 +15,70 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..runner import build_loaded_sysplex
+from ..runspec import RunSpec
 from ..workloads.dss import Query, QuerySplitter
-from .common import print_rows, scaled_config
+from .common import print_rows, scaled_config, sweep
 
-__all__ = ["run_dss", "main"]
+__all__ = ["run_dss", "dss_specs", "main"]
 
 PARALLELISM = (1, 2, 4, 8, 16, 32)
+
+CASE_RUNNER = "repro.experiments.exp_dss:run_case_spec"
+
+
+def dss_specs(n_systems: int = 8,
+              scan_pages: int = 60_000,
+              parallelism: Sequence[int] = PARALLELISM,
+              seed: int = 1) -> List[RunSpec]:
+    """Declare one decomposition measurement per parallelism degree."""
+    return [
+        RunSpec(
+            runner=CASE_RUNNER,
+            config=scaled_config(n_systems, seed=seed),
+            label=f"dss-p{p}",
+            params={"parallelism": p, "scan_pages": scan_pages},
+        )
+        for p in parallelism
+    ]
+
+
+def run_case_spec(spec: RunSpec) -> dict:
+    """Scenario runner: one scan query at one decomposition degree."""
+    p = spec.params["parallelism"]
+    scan_pages = spec.params["scan_pages"]
+    config = spec.config
+    plex, gen = build_loaded_sysplex(config, mode=spec.mode,
+                                     terminals_per_system=0)
+    splitter = QuerySplitter(plex.sim, plex.nodes, plex.farm, plex.wlm,
+                             config.xcf)
+    elapsed: List[float] = []
+
+    def run_one():
+        q = Query(query_id=p, first_page=0, n_pages=scan_pages)
+        t = yield from splitter.run_query(q, parallelism=p)
+        elapsed.append(t)
+
+    proc = plex.sim.process(run_one())
+    plex.sim.run(until=proc)
+    return {"parallelism": p, "elapsed_s": elapsed[-1]}
 
 
 def run_dss(n_systems: int = 8,
             scan_pages: int = 60_000,
             parallelism: Sequence[int] = PARALLELISM,
             seed: int = 1) -> Dict:
-    config = scaled_config(n_systems, seed=seed)
-    plex, gen = build_loaded_sysplex(config, mode="closed",
-                                     terminals_per_system=0)
-    splitter = QuerySplitter(plex.sim, plex.nodes, plex.farm, plex.wlm,
-                             config.xcf)
-    elapsed: List[float] = []
-
-    def run_one(p, qid):
-        q = Query(query_id=qid, first_page=0, n_pages=scan_pages)
-        t = yield from splitter.run_query(q, parallelism=p)
-        elapsed.append(t)
-
-    t_base = 0.0
+    points = sweep(dss_specs(n_systems, scan_pages, parallelism, seed))
+    t_base = points[0]["elapsed_s"]
     rows: List[dict] = []
-    for i, p in enumerate(parallelism):
-        proc = plex.sim.process(run_one(p, i))
-        plex.sim.run(until=proc)
-        t = elapsed[-1]
-        if i == 0:
-            t_base = t
+    for point in points:
+        t = point["elapsed_s"]
         speedup = t_base / t if t else 0.0
         rows.append(
             {
-                "parallelism": p,
+                "parallelism": point["parallelism"],
                 "elapsed_s": t,
                 "speedup": round(speedup, 2),
-                "efficiency": round(speedup / p, 3),
+                "efficiency": round(speedup / point["parallelism"], 3),
             }
         )
     return {"rows": rows}
@@ -74,8 +99,8 @@ def check_shape(rows: List[dict]) -> List[str]:
     return problems
 
 
-def main(quick: bool = True) -> Dict:
-    out = run_dss(scan_pages=30_000 if quick else 120_000)
+def main(quick: bool = True, seed: int = 1) -> Dict:
+    out = run_dss(scan_pages=30_000 if quick else 120_000, seed=seed)
     print_rows(
         "ABL-DSS — parallel query decomposition speedup (8 systems)",
         out["rows"],

@@ -19,16 +19,32 @@ from typing import Dict
 import numpy as np
 
 from ..runner import build_loaded_sysplex
+from ..runspec import RunSpec
 from ..subsystems.vtam import GenericResources
-from .common import print_rows, scaled_config
+from .common import print_rows, scaled_config, sweep
 
-__all__ = ["run_generic_resources", "main"]
+__all__ = ["run_generic_resources", "generic_resources_spec", "main"]
+
+CASE_RUNNER = "repro.experiments.exp_generic_resources:run_gr_spec"
 
 
-def run_generic_resources(n_systems: int = 4,
-                          n_users: int = 400,
-                          seed: int = 1) -> Dict:
-    config = scaled_config(n_systems, seed=seed)
+def generic_resources_spec(n_systems: int = 4,
+                           n_users: int = 400,
+                           seed: int = 1) -> RunSpec:
+    """Declare the session-placement scenario."""
+    return RunSpec(
+        runner=CASE_RUNNER, config=scaled_config(n_systems, seed=seed),
+        label=f"generic-resources-{n_systems}",
+        params={"n_users": n_users, "seed": seed},
+    )
+
+
+def run_gr_spec(spec: RunSpec) -> Dict:
+    """Scenario runner: GR vs static session placement + failure rebind."""
+    config = spec.config
+    n_systems = config.n_systems
+    n_users = spec.params["n_users"]
+    seed = spec.params["seed"]
     plex, gen = build_loaded_sysplex(config, mode="closed",
                                      terminals_per_system=0)
     connections = {
@@ -114,8 +130,14 @@ def run_generic_resources(n_systems: int = 4,
     }
 
 
-def main(quick: bool = True) -> Dict:
-    out = run_generic_resources()
+def run_generic_resources(n_systems: int = 4,
+                          n_users: int = 400,
+                          seed: int = 1) -> Dict:
+    return sweep([generic_resources_spec(n_systems, n_users, seed)])[0]
+
+
+def main(quick: bool = True, seed: int = 1) -> Dict:
+    out = run_generic_resources(seed=seed)
     columns = ["policy"] + sorted(
         k for k in out["rows"][0] if k.startswith("SYS")
     ) + ["load_spread"]

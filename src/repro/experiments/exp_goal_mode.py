@@ -22,22 +22,47 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..runner import build_loaded_sysplex
+from ..runspec import RunSpec
 from ..workloads.dss import Query, QuerySplitter
-from .common import print_rows, scaled_config
+from .common import print_rows, scaled_config, sweep
 
-__all__ = ["run_goal_mode", "main"]
+__all__ = ["run_goal_mode", "goal_mode_specs", "main"]
+
+CASE_RUNNER = "repro.experiments.exp_goal_mode:run_case_spec"
 
 
-def _run_case(label: str, with_batch: bool, use_policy: bool,
-              duration: float, seed: int) -> dict:
-    config = scaled_config(4, seed=seed)
-    plex, gen = build_loaded_sysplex(config, mode="open",
-                                     offered_tps_per_system=230.0,
-                                     router_policy="wlm")
+def goal_mode_specs(duration: float = 1.2, seed: int = 1) -> List[RunSpec]:
+    """Declare the three mixed-workload policy cases."""
+    cases = [
+        ("oltp-alone", False, False),
+        ("batch-equal-priority", True, False),
+        ("batch-wlm-goal-mode", True, True),
+    ]
+    return [
+        RunSpec(
+            runner=CASE_RUNNER, config=scaled_config(4, seed=seed),
+            duration=duration, warmup=0.4, mode="open",
+            offered_tps_per_system=230.0, router_policy="wlm", label=label,
+            params={"with_batch": with_batch, "use_policy": use_policy},
+        )
+        for label, with_batch, use_policy in cases
+    ]
+
+
+def run_case_spec(spec: RunSpec) -> dict:
+    """Scenario runner: OLTP + query stream under one dispatch policy."""
+    label = spec.label
+    with_batch = spec.params["with_batch"]
+    use_policy = spec.params["use_policy"]
+    plex, gen = build_loaded_sysplex(
+        spec.config, mode=spec.mode,
+        offered_tps_per_system=spec.offered_tps_per_system,
+        router_policy=spec.router_policy,
+    )
     wlm = plex.wlm
     wlm.define_service_class("QUERY", response_goal=5.0, importance=5)
     splitter = QuerySplitter(plex.sim, plex.nodes, plex.farm, wlm,
-                             config.xcf)
+                             spec.config.xcf)
     query_times: List[float] = []
 
     def query_stream():
@@ -54,9 +79,9 @@ def _run_case(label: str, with_batch: bool, use_policy: bool,
     if with_batch:
         plex.sim.process(query_stream(), name="query-stream")
 
-    plex.sim.run(until=0.4)
+    plex.sim.run(until=spec.warmup)
     plex.reset_measurement()
-    plex.sim.run(until=0.4 + duration)
+    plex.sim.run(until=spec.warmup + spec.duration)
     r = plex.collect(label)
     return {
         "case": label,
@@ -70,16 +95,12 @@ def _run_case(label: str, with_batch: bool, use_policy: bool,
 
 
 def run_goal_mode(duration: float = 1.2, seed: int = 1) -> Dict:
-    rows = [
-        _run_case("oltp-alone", False, False, duration, seed),
-        _run_case("batch-equal-priority", True, False, duration, seed),
-        _run_case("batch-wlm-goal-mode", True, True, duration, seed),
-    ]
+    rows = sweep(goal_mode_specs(duration, seed))
     return {"rows": rows}
 
 
-def main(quick: bool = True) -> Dict:
-    out = run_goal_mode(duration=1.0 if quick else 2.4)
+def main(quick: bool = True, seed: int = 1) -> Dict:
+    out = run_goal_mode(duration=1.0 if quick else 2.4, seed=seed)
     print_rows(
         "EXP-GOAL — WLM goal protection under mixed OLTP + query load",
         out["rows"],

@@ -19,38 +19,62 @@ from typing import Dict, List
 
 from ..baselines.partitioned import PartitionedCluster
 from ..runner import build_loaded_sysplex
+from ..runspec import RunSpec
 from ..workloads.oltp import OltpGenerator
-from .common import print_rows, scaled_config
+from .common import print_rows, scaled_config, sweep
 
-__all__ = ["run_growth", "main"]
+__all__ = ["run_growth", "growth_specs", "main"]
+
+SYSPLEX_RUNNER = "repro.experiments.exp_growth:run_sysplex_spec"
+PARTITIONED_RUNNER = "repro.experiments.exp_growth:run_partitioned_spec"
+
+N_WINDOWS = 16
 
 
-def run_growth(n_initial: int = 3,
-               offered_per_system: float = 250.0,
-               window: float = 0.4,
-               seed: int = 1) -> Dict:
+def growth_specs(n_initial: int = 3,
+                 offered_per_system: float = 250.0,
+                 window: float = 0.4,
+                 seed: int = 1) -> List[RunSpec]:
+    """Declare the two architectures' mid-run-growth scenarios."""
+    params = {"n_initial": n_initial, "window": window}
+    return [
+        RunSpec(
+            runner=SYSPLEX_RUNNER,
+            config=scaled_config(n_initial, seed=seed), mode="open",
+            offered_tps_per_system=offered_per_system,
+            router_policy="wlm", label="growth-sysplex", params=params,
+        ),
+        RunSpec(
+            runner=PARTITIONED_RUNNER,
+            config=scaled_config(n_initial, data_sharing=False, seed=seed),
+            mode="open", offered_tps_per_system=offered_per_system,
+            label="growth-partitioned", params=params,
+        ),
+    ]
+
+
+def run_sysplex_spec(spec: RunSpec) -> Dict:
+    """Scenario runner: a system joins the sysplex non-disruptively."""
+    n_initial = spec.params["n_initial"]
+    window = spec.params["window"]
     add_at = 4 * window
-    n_windows = 16
-
-    # --- sysplex ----------------------------------------------------------
-    config = scaled_config(n_initial, seed=seed)
     plex, gen = build_loaded_sysplex(
-        config, mode="open", offered_tps_per_system=offered_per_system,
-        router_policy="wlm",
+        spec.config, mode=spec.mode,
+        offered_tps_per_system=spec.offered_tps_per_system,
+        router_policy=spec.router_policy,
     )
     counter = plex.metrics.counter("txn.completed")
-    plex_timeline: List[dict] = []
+    timeline: List[dict] = []
     prev = 0
     new_inst = None
-    newcomer_util: List[float] = []
-    for k in range(1, n_windows + 1):
+    for k in range(1, N_WINDOWS + 1):
         plex.sim.run(until=k * window)
         if new_inst is None and k * window >= add_at:
             new_inst = plex.add_system()
             # offered load rises with the new capacity (more users arrive)
             gen.n_systems = n_initial  # arrivals stay on original streams
         c = counter.count
-        plex_timeline.append(
+        timeline.append(
             {
                 "t": round(k * window, 2),
                 "sysplex_tput": (c - prev) / window,
@@ -61,10 +85,15 @@ def run_growth(n_initial: int = 3,
             }
         )
         prev = c
-    sysplex_min = min(w["sysplex_tput"] for w in plex_timeline)
+    return {"timeline": timeline, "add_at": add_at}
 
-    # --- partitioned ----------------------------------------------------------
-    pconfig = scaled_config(n_initial, data_sharing=False, seed=seed)
+
+def run_partitioned_spec(spec: RunSpec) -> Dict:
+    """Scenario runner: the shared-nothing cluster repartitions to grow."""
+    n_initial = spec.params["n_initial"]
+    window = spec.params["window"]
+    add_at = 4 * window
+    pconfig = spec.config
     cluster = PartitionedCluster(pconfig)
     pgen = OltpGenerator(
         cluster.sim, pconfig.oltp, pconfig.db.n_pages, n_initial,
@@ -73,24 +102,41 @@ def run_growth(n_initial: int = 3,
     hot = pgen.sampler.hottest(pconfig.db.buffer_pages)
     for stack in cluster._stacks:
         stack["buffers"].prewarm(hot)
-    pgen.start_open_loop(offered_per_system)
+    pgen.start_open_loop(spec.offered_tps_per_system)
     pcounter = cluster.metrics.counter("txn.completed")
-    part_timeline: List[dict] = []
+    timeline: List[dict] = []
     prev = 0
     outage = None
-    for k in range(1, n_windows + 1):
+    for k in range(1, N_WINDOWS + 1):
         cluster.sim.run(until=k * window)
         if outage is None and k * window >= add_at:
             outage = cluster.add_system()
         c = pcounter.count
-        part_timeline.append(
+        timeline.append(
             {
                 "t": round(k * window, 2),
                 "partitioned_tput": (c - prev) / window,
             }
         )
         prev = c
+    return {
+        "timeline": timeline,
+        "repartition_window_s": outage,
+        "lost_txns": cluster.failed_txns,
+    }
 
+
+def run_growth(n_initial: int = 3,
+               offered_per_system: float = 250.0,
+               window: float = 0.4,
+               seed: int = 1) -> Dict:
+    add_at = 4 * window
+    plex_out, part_out = sweep(
+        growth_specs(n_initial, offered_per_system, window, seed)
+    )
+    plex_timeline = plex_out["timeline"]
+    part_timeline = part_out["timeline"]
+    sysplex_min = min(w["sysplex_tput"] for w in plex_timeline)
     timeline = [
         {**a, "partitioned_tput": b["partitioned_tput"]}
         for a, b in zip(plex_timeline, part_timeline)
@@ -103,15 +149,15 @@ def run_growth(n_initial: int = 3,
             "add_at": add_at,
             "sysplex_min_tput": sysplex_min,
             "partitioned_min_tput_after_add": part_min,
-            "repartition_window_s": outage,
-            "partitioned_lost_txns": cluster.failed_txns,
+            "repartition_window_s": part_out["repartition_window_s"],
+            "partitioned_lost_txns": part_out["lost_txns"],
             "newcomer_final_util": plex_timeline[-1]["newcomer_util"],
         },
     }
 
 
-def main(quick: bool = True) -> Dict:
-    out = run_growth(window=0.3 if quick else 0.5)
+def main(quick: bool = True, seed: int = 1) -> Dict:
+    out = run_growth(window=0.3 if quick else 0.5, seed=seed)
     print_rows(
         "EXP-GROW — adding a system mid-run (sysplex vs partitioned)",
         out["timeline"],

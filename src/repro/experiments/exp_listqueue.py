@@ -16,18 +16,67 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..runner import build_loaded_sysplex
+from ..runspec import RunSpec
 from ..subsystems.txn import ListQueueRouter
-from .common import QUICK, print_rows, scaled_config
+from .common import QUICK, print_rows, scaled_config, sweep
 
-__all__ = ["run_listqueue", "main"]
+__all__ = ["run_listqueue", "listqueue_specs", "main"]
+
+CASE_RUNNER = "repro.experiments.exp_listqueue:run_case_spec"
 
 
-def _drive(plex, gen, offered_total, duration, warmup):
-    # all arrivals enter via system 0 (single front-end): the generator's
-    # per-home rate concentrates on home 0
-    plex.sim.run(until=warmup)
+def listqueue_specs(n_systems: int = 4,
+                    offered_total: float = 900.0,
+                    duration: float = QUICK["duration"],
+                    warmup: float = QUICK["warmup"],
+                    seed: int = 1) -> List[RunSpec]:
+    """Declare the two work-distribution cases."""
+    return [
+        RunSpec(
+            runner=CASE_RUNNER,
+            config=scaled_config(n_systems, seed=seed),
+            duration=duration, warmup=warmup, mode="open",
+            router_policy="local", label=mode,
+            params={"mode": mode, "offered_total": offered_total},
+        )
+        for mode in ("static-local", "shared-cf-list")
+    ]
+
+
+def run_case_spec(spec: RunSpec) -> dict:
+    """Scenario runner: one distribution scheme under one front-end."""
+    mode = spec.params["mode"]
+    offered_total = spec.params["offered_total"]
+    plex, gen = build_loaded_sysplex(
+        spec.config, mode=spec.mode, offered_tps_per_system=0.0,
+        router_policy=spec.router_policy,
+    )
+    if mode == "shared-cf-list":
+        connections = {
+            name: inst.xes_list
+            for name, inst in plex.instances.items()
+        }
+        router = ListQueueRouter(
+            plex.sim,
+            [inst.tm for inst in plex.instances.values()],
+            connections,
+        )
+        gen.router = router
+    # concentrated arrivals: everything lands on home 0
+    plex.sim.process(gen._arrivals(0, offered_total), name="front-end")
+    plex.sim.run(until=spec.warmup)
     plex.reset_measurement()
-    plex.sim.run(until=warmup + duration)
+    plex.sim.run(until=spec.warmup + spec.duration)
+    r = plex.collect(mode)
+    st = plex.xes.find("WORKQ1")
+    return {
+        "distribution": mode,
+        "throughput": r.throughput,
+        "mean_rt_ms": 1e3 * r.response_mean,
+        "p95_ms": 1e3 * r.response_p95,
+        "util_spread": round(r.utilization_spread, 3),
+        "transitions_signalled": st.transitions_signalled,
+    }
 
 
 def run_listqueue(n_systems: int = 4,
@@ -35,46 +84,15 @@ def run_listqueue(n_systems: int = 4,
                   duration: float = QUICK["duration"],
                   warmup: float = QUICK["warmup"],
                   seed: int = 1) -> Dict:
-    rows: List[dict] = []
-
-    for mode in ("static-local", "shared-cf-list"):
-        config = scaled_config(n_systems, seed=seed)
-        plex, gen = build_loaded_sysplex(
-            config, mode="open", offered_tps_per_system=0.0,
-            router_policy="local",
-        )
-        if mode == "shared-cf-list":
-            connections = {
-                name: inst.xes_list
-                for name, inst in plex.instances.items()
-            }
-            router = ListQueueRouter(
-                plex.sim,
-                [inst.tm for inst in plex.instances.values()],
-                connections,
-            )
-            gen.router = router
-        # concentrated arrivals: everything lands on home 0
-        plex.sim.process(gen._arrivals(0, offered_total), name="front-end")
-        _drive(plex, gen, offered_total, duration, warmup)
-        r = plex.collect(mode)
-        st = plex.xes.find("WORKQ1")
-        rows.append(
-            {
-                "distribution": mode,
-                "throughput": r.throughput,
-                "mean_rt_ms": 1e3 * r.response_mean,
-                "p95_ms": 1e3 * r.response_p95,
-                "util_spread": round(r.utilization_spread, 3),
-                "transitions_signalled": st.transitions_signalled,
-            }
-        )
+    rows = sweep(listqueue_specs(n_systems, offered_total, duration,
+                                 warmup, seed))
     return {"rows": rows}
 
 
-def main(quick: bool = True) -> Dict:
+def main(quick: bool = True, seed: int = 1) -> Dict:
     kw = QUICK if quick else {"duration": 1.2, "warmup": 0.6}
-    out = run_listqueue(duration=kw["duration"], warmup=kw["warmup"])
+    out = run_listqueue(duration=kw["duration"], warmup=kw["warmup"],
+                        seed=seed)
     print_rows(
         "EXP-LIST — shared CF work queue vs static assignment "
         "(single front-end)",

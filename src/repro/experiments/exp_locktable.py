@@ -21,12 +21,63 @@ from typing import Dict, List, Sequence
 
 from ..cf.lock import LockMode
 from ..runner import build_loaded_sysplex
+from ..runspec import RunSpec
 from ..simkernel import Tally
-from .common import QUICK, print_rows, scaled_config
+from .common import QUICK, print_rows, scaled_config, sweep
 
-__all__ = ["run_locktable_sweep", "run_grant_latency", "main"]
+__all__ = [
+    "run_locktable_sweep",
+    "run_grant_latency",
+    "locktable_specs",
+    "grant_latency_spec",
+    "main",
+]
 
 TABLE_SIZES = (1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 20)
+
+TABLE_RUNNER = "repro.experiments.exp_locktable:run_table_spec"
+LATENCY_RUNNER = "repro.experiments.exp_locktable:run_latency_spec"
+
+
+def locktable_specs(sizes: Sequence[int] = TABLE_SIZES,
+                    n_systems: int = 4,
+                    duration: float = QUICK["duration"],
+                    warmup: float = QUICK["warmup"],
+                    seed: int = 1) -> List[RunSpec]:
+    """Declare one contention measurement per lock-table size."""
+    specs = []
+    for size in sizes:
+        config = scaled_config(n_systems, seed=seed)
+        config.cf.lock_table_entries = size
+        specs.append(RunSpec(
+            runner=TABLE_RUNNER, config=config,
+            duration=duration, warmup=warmup, label=f"table-{size}",
+        ))
+    return specs
+
+
+def run_table_spec(spec: RunSpec) -> dict:
+    """Scenario runner: contention rates at one lock-table size."""
+    size = spec.config.cf.lock_table_entries
+    plex, gen = build_loaded_sysplex(spec.config, mode="closed")
+    plex.sim.run(until=spec.warmup)
+    structure = plex.xes.find("IRLMLOCK1")
+    req0 = structure.requests
+    false0, real0 = structure.false_contention, structure.real_contention
+    plex.reset_measurement()
+    plex.sim.run(until=spec.warmup + spec.duration)
+    result = plex.collect(spec.label or f"table-{size}")
+    req = structure.requests - req0
+    return {
+        "lock_table_entries": size,
+        "requests": req,
+        "false_pct": 100 * (structure.false_contention - false0)
+        / max(req, 1),
+        "real_pct": 100 * (structure.real_contention - real0)
+        / max(req, 1),
+        "throughput": result.throughput,
+        "p95_ms": 1e3 * result.response_p95,
+    }
 
 
 def run_locktable_sweep(sizes: Sequence[int] = TABLE_SIZES,
@@ -34,38 +85,22 @@ def run_locktable_sweep(sizes: Sequence[int] = TABLE_SIZES,
                         duration: float = QUICK["duration"],
                         warmup: float = QUICK["warmup"],
                         seed: int = 1) -> Dict:
-    rows: List[dict] = []
-    for size in sizes:
-        config = scaled_config(n_systems, seed=seed)
-        config.cf.lock_table_entries = size
-        plex, gen = build_loaded_sysplex(config, mode="closed")
-        plex.sim.run(until=warmup)
-        structure = plex.xes.find("IRLMLOCK1")
-        req0 = structure.requests
-        false0, real0 = structure.false_contention, structure.real_contention
-        plex.reset_measurement()
-        plex.sim.run(until=warmup + duration)
-        result = plex.collect(f"table-{size}")
-        req = structure.requests - req0
-        rows.append(
-            {
-                "lock_table_entries": size,
-                "requests": req,
-                "false_pct": 100 * (structure.false_contention - false0)
-                / max(req, 1),
-                "real_pct": 100 * (structure.real_contention - real0)
-                / max(req, 1),
-                "throughput": result.throughput,
-                "p95_ms": 1e3 * result.response_p95,
-            }
-        )
+    rows = sweep(locktable_specs(sizes, n_systems, duration, warmup, seed))
     return {"rows": rows}
 
 
-def run_grant_latency(n_samples: int = 400, seed: int = 1) -> Dict:
-    """Latency of uncontended sync lock requests on an idle sysplex."""
-    config = scaled_config(2, seed=seed)
-    plex, gen = build_loaded_sysplex(config, mode="closed",
+def grant_latency_spec(n_samples: int = 400, seed: int = 1) -> RunSpec:
+    """Declare the uncontended sync-grant latency probe."""
+    return RunSpec(
+        runner=LATENCY_RUNNER, config=scaled_config(2, seed=seed),
+        label="grant-latency", params={"n_samples": n_samples},
+    )
+
+
+def run_latency_spec(spec: RunSpec) -> Dict:
+    """Scenario runner: uncontended sync lock grants on an idle sysplex."""
+    n_samples = spec.params["n_samples"]
+    plex, gen = build_loaded_sysplex(spec.config, mode="closed",
                                      terminals_per_system=0)
     mgr = plex.instances["SYS00"].lockmgr
     tally = Tally("grant")
@@ -91,23 +126,32 @@ def run_grant_latency(n_samples: int = 400, seed: int = 1) -> Dict:
     }
 
 
-def main(quick: bool = True) -> Dict:
+def run_grant_latency(n_samples: int = 400, seed: int = 1) -> Dict:
+    """Latency of uncontended sync lock requests on an idle sysplex."""
+    return sweep([grant_latency_spec(n_samples, seed)])[0]
+
+
+def main(quick: bool = True, seed: int = 1) -> Dict:
     kw = QUICK if quick else {"duration": 1.0, "warmup": 0.5}
-    sweep = run_locktable_sweep(duration=kw["duration"], warmup=kw["warmup"])
+    # the size sweep and the latency probe are independent: one sweep call
+    specs = locktable_specs(duration=kw["duration"], warmup=kw["warmup"],
+                            seed=seed)
+    results = sweep(specs + [grant_latency_spec(seed=seed)])
+    table = {"rows": results[:len(specs)]}
+    lat = results[len(specs)]
     print_rows(
         "EXP-LOCK — false contention vs lock-table size (4 systems)",
-        sweep["rows"],
+        table["rows"],
         ["lock_table_entries", "requests", "false_pct", "real_pct",
          "throughput", "p95_ms"],
     )
-    lat = run_grant_latency()
     s = lat["summary"]
     print(
         f"\nsync grant latency: mean {s['mean_us']:.1f}us, "
         f"p95 {s['p95_us']:.1f}us, max {s['max_us']:.1f}us "
         f"(microseconds: {s['all_microseconds']})"
     )
-    return {"sweep": sweep, "latency": lat}
+    return {"sweep": table, "latency": lat}
 
 
 if __name__ == "__main__":

@@ -16,9 +16,10 @@ connection-placement schemes, and one backend system dies mid-run:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..runner import build_loaded_sysplex
+from ..runspec import RunSpec
 from ..subsystems.tcpip import (
     DnsRoundRobin,
     SysplexDistributor,
@@ -26,16 +27,42 @@ from ..subsystems.tcpip import (
     WebConfig,
     WebWorkload,
 )
-from .common import print_rows, scaled_config
+from .common import print_rows, scaled_config, sweep
 
-__all__ = ["run_web", "main"]
+__all__ = ["run_web", "web_specs", "main"]
+
+CASE_RUNNER = "repro.experiments.exp_web:run_case_spec"
+
+CASES = (
+    ("dns-round-robin", 2),
+    ("sysplex-distributor", 2),
+    ("distributor-killed", 0),
+)
 
 
-def _run_case(scheme: str, kill_index: int, n_systems: int,
-              rate: float, duration: float, warmup: float,
-              seed: int) -> dict:
-    config = scaled_config(n_systems, seed=seed)
-    plex, gen = build_loaded_sysplex(config, mode="closed",
+def web_specs(n_systems: int = 4, rate: float = 700.0,
+              duration: float = 1.8, warmup: float = 0.4,
+              seed: int = 1) -> List[RunSpec]:
+    """Declare the three connection-placement schemes."""
+    return [
+        RunSpec(
+            runner=CASE_RUNNER,
+            config=scaled_config(n_systems, seed=seed),
+            duration=duration, warmup=warmup, label=scheme,
+            params={"scheme": scheme, "kill_index": kill_index,
+                    "rate": rate},
+        )
+        for scheme, kill_index in CASES
+    ]
+
+
+def run_case_spec(spec: RunSpec) -> dict:
+    """Scenario runner: one placement scheme under a backend loss."""
+    scheme = spec.params["scheme"]
+    kill_index = spec.params["kill_index"]
+    rate = spec.params["rate"]
+    duration, warmup = spec.duration, spec.warmup
+    plex, gen = build_loaded_sysplex(spec.config, mode=spec.mode,
                                      terminals_per_system=0)
     web_cfg = WebConfig()
     stacks = [
@@ -80,19 +107,12 @@ def _run_case(scheme: str, kill_index: int, n_systems: int,
 def run_web(n_systems: int = 4, rate: float = 700.0,
             duration: float = 1.8, warmup: float = 0.4,
             seed: int = 1) -> Dict:
-    rows = [
-        _run_case("dns-round-robin", 2, n_systems, rate, duration,
-                  warmup, seed),
-        _run_case("sysplex-distributor", 2, n_systems, rate, duration,
-                  warmup, seed),
-        _run_case("distributor-killed", 0, n_systems, rate, duration,
-                  warmup, seed),
-    ]
+    rows = sweep(web_specs(n_systems, rate, duration, warmup, seed))
     return {"rows": rows}
 
 
-def main(quick: bool = True) -> Dict:
-    out = run_web(duration=1.8 if quick else 4.0)
+def main(quick: bool = True, seed: int = 1) -> Dict:
+    out = run_web(duration=1.8 if quick else 4.0, seed=seed)
     print_rows(
         "EXP-WEB — web serving: connection placement under a backend loss",
         out["rows"],

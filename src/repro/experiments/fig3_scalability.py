@@ -16,13 +16,45 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..runner import run_oltp
-from .common import QUICK, print_rows, scaled_config
+from ..runspec import RunSpec
+from .common import QUICK, print_rows, scaled_config, sweep
 
-__all__ = ["run_fig3", "main"]
+__all__ = ["run_fig3", "fig3_specs", "main"]
 
 TCMP_POINTS = (1, 2, 4, 6, 8, 10)
 PLEX_POINTS = (1, 2, 4, 8, 12, 16, 24, 32)
+
+
+def fig3_specs(tcmp_points: Sequence[int] = TCMP_POINTS,
+               plex_points: Sequence[int] = PLEX_POINTS,
+               duration: float = QUICK["duration"],
+               warmup: float = QUICK["warmup"],
+               seed: int = 1,
+               tracing: bool = False) -> List[RunSpec]:
+    """Declare the whole Figure-3 sweep: base, then TCMP, then sysplex."""
+    specs = [RunSpec(
+        config=scaled_config(1, 1, data_sharing=False, seed=seed),
+        duration=duration, warmup=warmup, label="base-1cpu",
+        tracing=tracing,
+    )]
+    specs += [
+        RunSpec(
+            config=scaled_config(1, n, data_sharing=False, seed=seed),
+            duration=duration, warmup=warmup, label=f"tcmp-{n}",
+            tracing=tracing,
+        )
+        for n in tcmp_points
+    ]
+    specs += [
+        RunSpec(
+            # a 1-system "sysplex" needs no CF traffic
+            config=scaled_config(k, 1, data_sharing=k > 1, seed=seed),
+            duration=duration, warmup=warmup, label=f"plex-{k}",
+            tracing=tracing,
+        )
+        for k in plex_points
+    ]
+    return specs
 
 
 def run_fig3(tcmp_points: Sequence[int] = TCMP_POINTS,
@@ -37,11 +69,10 @@ def run_fig3(tcmp_points: Sequence[int] = TCMP_POINTS,
     gains ``trace.*`` attribution extras; off by default because the
     sweep reaches 32 systems and the span log gets large.
     """
-    base = run_oltp(
-        scaled_config(1, 1, data_sharing=False, seed=seed),
-        duration=duration, warmup=warmup, label="base-1cpu",
-        tracing=tracing,
-    )
+    results = sweep(fig3_specs(tcmp_points, plex_points, duration, warmup,
+                               seed, tracing))
+    base, tcmp_results = results[0], results[1:1 + len(tcmp_points)]
+    plex_results = results[1 + len(tcmp_points):]
     base_tput = base.throughput
     # ITR (internal throughput rate) = completions per CPU-busy second —
     # the normalization IBM's sysplex measurements [8,9] report, which
@@ -70,24 +101,8 @@ def run_fig3(tcmp_points: Sequence[int] = TCMP_POINTS,
             )
         return out
 
-    tcmp_rows = []
-    for n in tcmp_points:
-        r = run_oltp(
-            scaled_config(1, n, data_sharing=False, seed=seed),
-            duration=duration, warmup=warmup, label=f"tcmp-{n}",
-            tracing=tracing,
-        )
-        tcmp_rows.append(row(n, r))
-
-    plex_rows = []
-    for k in plex_points:
-        sharing = k > 1  # a 1-system "sysplex" needs no CF traffic
-        r = run_oltp(
-            scaled_config(k, 1, data_sharing=sharing, seed=seed),
-            duration=duration, warmup=warmup, label=f"plex-{k}",
-            tracing=tracing,
-        )
-        plex_rows.append(row(k, r))
+    tcmp_rows = [row(n, r) for n, r in zip(tcmp_points, tcmp_results)]
+    plex_rows = [row(k, r) for k, r in zip(plex_points, plex_results)]
 
     ideal_rows = [
         {"physical": p, "effective": float(p), "efficiency": 1.0}
@@ -124,9 +139,10 @@ def check_shape(series: Dict[str, List[dict]]) -> List[str]:
     return problems
 
 
-def main(quick: bool = True) -> Dict[str, List[dict]]:
+def main(quick: bool = True, seed: int = 1) -> Dict[str, List[dict]]:
     kw = QUICK if quick else {"duration": 1.0, "warmup": 0.6}
-    series = run_fig3(duration=kw["duration"], warmup=kw["warmup"])
+    series = run_fig3(duration=kw["duration"], warmup=kw["warmup"],
+                      seed=seed)
     for name in ("ideal", "tcmp", "sysplex"):
         cols = ["physical", "effective", "efficiency"]
         if name != "ideal":

@@ -15,13 +15,36 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..runner import run_oltp
+from ..runspec import RunSpec
 from ..trace_analysis import CATEGORIES, attribution_delta
 from .common import QUICK, print_rows, scaled_config
+from .common import sweep as _sweep
 
-__all__ = ["run_tab1", "main"]
+__all__ = ["run_tab1", "tab1_specs", "main"]
 
 SWEEP = (2, 4, 8, 16, 24, 32)
+
+
+def tab1_specs(sweep_points: Sequence[int] = SWEEP,
+               duration: float = QUICK["duration"],
+               warmup: float = QUICK["warmup"],
+               seed: int = 1,
+               tracing: bool = True) -> List[RunSpec]:
+    """Declare the §4 sweep: the non-sharing base, then each DS size."""
+    specs = [RunSpec(
+        config=scaled_config(1, 1, data_sharing=False, seed=seed),
+        duration=duration, warmup=warmup, label="1-system no-DS",
+        tracing=tracing,
+    )]
+    specs += [
+        RunSpec(
+            config=scaled_config(n, 1, seed=seed),
+            duration=duration, warmup=warmup, label=f"{n}-system DS",
+            tracing=tracing and n == 2,
+        )
+        for n in sweep_points
+    ]
+    return specs
 
 
 def cpu_per_txn(result, engines: int) -> float:
@@ -44,11 +67,8 @@ def run_tab1(sweep: Sequence[int] = SWEEP,
     / other).  The tracer is passive, so traced runs produce the same
     numbers as untraced ones.
     """
-    base = run_oltp(
-        scaled_config(1, 1, data_sharing=False, seed=seed),
-        duration=duration, warmup=warmup, label="1-system no-DS",
-        tracing=tracing,
-    )
+    results = _sweep(tab1_specs(sweep, duration, warmup, seed, tracing))
+    base, sweep_results = results[0], results[1:]
     base_cpu = cpu_per_txn(base, 1)
     rows = [
         {
@@ -63,12 +83,7 @@ def run_tab1(sweep: Sequence[int] = SWEEP,
     prev_n = None
     increments: List[float] = []
     two_way_extras: Optional[Dict[str, float]] = None
-    for n in sweep:
-        r = run_oltp(
-            scaled_config(n, 1, seed=seed),
-            duration=duration, warmup=warmup, label=f"{n}-system DS",
-            tracing=tracing and n == 2,
-        )
+    for n, r in zip(sweep, sweep_results):
         if n == 2:
             two_way_extras = r.extras
         cpu = cpu_per_txn(r, n)
@@ -140,9 +155,9 @@ def print_attribution(attribution: Optional[Dict]) -> None:
     )
 
 
-def main(quick: bool = True) -> Dict:
+def main(quick: bool = True, seed: int = 1) -> Dict:
     kw = QUICK if quick else {"duration": 1.2, "warmup": 0.6}
-    out = run_tab1(duration=kw["duration"], warmup=kw["warmup"])
+    out = run_tab1(duration=kw["duration"], warmup=kw["warmup"], seed=seed)
     print_rows(
         "Table 1 — cost of data sharing (CPU per transaction)",
         out["rows"],

@@ -8,7 +8,7 @@ lock statistics — so benchmark tables print uniformly across experiments.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
 import numpy as np
@@ -46,6 +46,15 @@ class RunResult:
             return 0.0
         vals = list(self.cpu_utilization.values())
         return max(vals) - min(vals)
+
+    def to_dict(self) -> dict:
+        """A plain-data (JSON-serializable) view; see :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output, losslessly."""
+        return cls(**data)
 
     def row(self) -> str:
         return (

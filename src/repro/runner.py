@@ -6,7 +6,7 @@ returns :class:`repro.metrics.RunResult`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .config import SysplexConfig
 from .metrics import RunResult
@@ -14,7 +14,10 @@ from .sysplex import Sysplex
 from .workloads.oltp import OltpGenerator
 from .workloads.traces import DemandTrace
 
-__all__ = ["run_oltp", "build_loaded_sysplex"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runspec import RunSpec
+
+__all__ = ["run_oltp", "run_spec", "build_loaded_sysplex"]
 
 
 def build_loaded_sysplex(config: SysplexConfig,
@@ -100,3 +103,25 @@ def run_oltp(config: SysplexConfig,
             f"{config.n_systems}x{config.cpu.n_cpus}cpu {sharing} {mode}"
         )
     return plex.collect(label)
+
+
+def run_spec(spec: "RunSpec") -> RunResult:
+    """Execute a declarative OLTP :class:`~repro.runspec.RunSpec`.
+
+    This is the executor's default runner (the ``"oltp"`` alias): the
+    spec's config and drive fields map 1:1 onto :func:`run_oltp`.
+    """
+    if spec.config is None:
+        raise ValueError("an 'oltp' RunSpec needs a SysplexConfig")
+    return run_oltp(
+        spec.config,
+        duration=spec.duration,
+        warmup=spec.warmup,
+        mode=spec.mode,
+        offered_tps_per_system=spec.offered_tps_per_system,
+        router_policy=spec.router_policy,
+        monitoring=spec.monitoring,
+        label=spec.label,
+        terminals_per_system=spec.terminals_per_system,
+        tracing=spec.tracing,
+    )

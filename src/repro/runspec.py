@@ -1,0 +1,166 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` is a frozen, JSON-serializable description of one
+independent simulation run: the :class:`~repro.config.SysplexConfig` to
+build plus the drive parameters (mode, duration, warmup, routing,
+tracing, …) or — for experiments whose drive logic is richer than a
+plain OLTP window — the dotted name of a *scenario runner* plus its
+parameters.  Experiments declare their sweep as a list of RunSpecs and
+hand it to :func:`repro.executor.execute`, which may run the specs
+in-process, across a process pool, or answer them from the on-disk
+result cache.
+
+The contract that makes all of that safe is **content addressing**: two
+specs with equal :meth:`RunSpec.content_hash` produce bit-identical
+results, whichever way they are executed.  The hash covers the canonical
+JSON form of the spec (config tree included) plus a schema version, so
+cache entries are invalidated wholesale when the spec format changes.
+
+Runner resolution
+-----------------
+
+``RunSpec.runner`` names the function that executes the spec:
+
+* ``"oltp"`` (the default) — :func:`repro.runner.run_spec`, a measured
+  OLTP window via :func:`repro.runner.run_oltp`;
+* ``"package.module:function"`` — any importable function taking the
+  spec and returning either a :class:`~repro.metrics.RunResult` or a
+  JSON-serializable payload (dict/list of plain data).
+
+The dotted-path form is what lets a subprocess worker re-resolve the
+runner without the parent shipping code objects across the pipe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Optional
+
+from .config import SysplexConfig
+
+__all__ = [
+    "RunSpec",
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "resolve_runner",
+]
+
+#: Bumped whenever the serialized spec format (or the meaning of any
+#: field) changes, so stale ``.runcache`` entries can never be replayed
+#: against a new schema.
+SCHEMA_VERSION = 1
+
+#: Short names for the built-in runners.
+RUNNER_ALIASES: Dict[str, str] = {
+    "oltp": "repro.runner:run_spec",
+}
+
+_RUNNER_CACHE: Dict[str, Callable[["RunSpec"], Any]] = {}
+
+
+def resolve_runner(name: str) -> Callable[["RunSpec"], Any]:
+    """Import and return the runner function behind ``name``."""
+    target = RUNNER_ALIASES.get(name, name)
+    fn = _RUNNER_CACHE.get(target)
+    if fn is None:
+        module_name, sep, attr = target.partition(":")
+        if not sep:
+            raise ValueError(
+                f"unknown runner {name!r}: not an alias and not a "
+                f"'module:function' path"
+            )
+        fn = getattr(importlib.import_module(module_name), attr)
+        _RUNNER_CACHE[target] = fn
+    return fn
+
+
+def _json_default(obj: Any) -> Any:
+    # Scenario payloads occasionally carry numpy scalars (counters,
+    # balance indices); coerce them so canonical JSON never depends on
+    # whether a runner used numpy or builtin arithmetic.
+    import numpy as np
+
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serializable: {obj!r} ({type(obj).__name__})")
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, repr'd floats."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      default=_json_default)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent, reproducible simulation run, as data.
+
+    ``config`` and the drive fields mirror :func:`repro.runner.run_oltp`;
+    scenario runners are free to interpret ``params`` however they like
+    (everything in it must be JSON-serializable).
+    """
+
+    runner: str = "oltp"
+    config: Optional[SysplexConfig] = None
+    duration: float = 1.0
+    warmup: float = 0.3
+    mode: str = "closed"
+    offered_tps_per_system: float = 200.0
+    router_policy: str = "threshold"
+    monitoring: bool = True
+    terminals_per_system: Optional[int] = None
+    tracing: bool = False
+    label: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        d = {
+            "runner": self.runner,
+            "config": self.config.to_dict() if self.config else None,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "mode": self.mode,
+            "offered_tps_per_system": self.offered_tps_per_system,
+            "router_policy": self.router_policy,
+            "monitoring": self.monitoring,
+            "terminals_per_system": self.terminals_per_system,
+            "tracing": self.tracing,
+            "label": self.label,
+            "params": dict(self.params),
+        }
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        kw = dict(data)
+        if kw.get("config") is not None:
+            kw["config"] = SysplexConfig.from_dict(kw["config"])
+        return cls(**kw)
+
+    def replace(self, **changes) -> "RunSpec":
+        """A copy with ``changes`` applied (frozen-dataclass friendly)."""
+        return replace(self, **changes)
+
+    # -- identity ----------------------------------------------------------
+    def content_hash(self) -> str:
+        """Stable SHA-256 over the canonical spec (hex digest).
+
+        Equal hashes mean "same simulation": the executor's cache and its
+        determinism guarantee both key off this value.
+        """
+        payload = {"schema": SCHEMA_VERSION, "spec": self.to_dict()}
+        digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> Any:
+        """Execute this spec in-process via its runner."""
+        return resolve_runner(self.runner)(self)

@@ -239,12 +239,27 @@ class Process(Event):
                 raise
 
             if not isinstance(target, Event):
-                self.sim._active_process = None
-                gen.throw(
-                    SimulationError(
-                        f"process {self.name!r} yielded non-event {target!r}"
-                    )
+                err: BaseException = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
                 )
+                self.sim._active_process = None
+                self._target = None
+                try:
+                    gen.throw(err)
+                except StopIteration:
+                    pass
+                except BaseException as exc:
+                    err = exc
+                else:
+                    # The generator caught the error and yielded again; it
+                    # cannot be resumed after an invalid yield, so shut it
+                    # down instead of leaving the process pending forever.
+                    gen.close()
+                if self._state == _PENDING:
+                    self.fail(err, priority=URGENT)
+                    if self.sim._process_watchers:
+                        for fn in self.sim._process_watchers:
+                            fn(self, "end")
                 return
             if target.sim is not self.sim:
                 raise SimulationError("yielded event belongs to another simulator")

@@ -324,6 +324,49 @@ def test_yield_non_event_is_error():
         sim.run()
 
 
+def test_yield_non_event_fails_even_if_caught():
+    # A generator that catches the SimulationError and yields again used
+    # to be silently dropped, leaving its process pending forever.  The
+    # process must fail instead.
+    sim = Simulator()
+
+    def stubborn():
+        try:
+            yield "not an event"
+        except SimulationError:
+            yield sim.timeout(1.0)  # try to carry on regardless
+
+    proc = sim.process(stubborn())
+    with pytest.raises(SimulationError):
+        sim.run()
+    assert proc.processed
+    assert not proc.ok
+    assert isinstance(proc._value, SimulationError)
+
+
+def test_yield_non_event_failure_wakes_waiter():
+    # A parent waiting on the bad process sees the failure as a normal
+    # process failure rather than the kernel blowing up.
+    sim = Simulator()
+    caught = []
+
+    def stubborn():
+        try:
+            yield 42
+        except SimulationError:
+            yield sim.timeout(1.0)
+
+    def parent():
+        try:
+            yield sim.process(stubborn())
+        except SimulationError as exc:
+            caught.append(exc)
+
+    sim.process(parent())
+    sim.run()
+    assert len(caught) == 1
+
+
 def test_call_at_runs_callable():
     sim = Simulator()
     fired = []

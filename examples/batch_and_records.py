@@ -12,6 +12,7 @@ Two of the paper's §5 exploiters in one script:
 Run:  python examples/batch_and_records.py
 """
 
+from repro import RunOptions
 from repro.cf import ListStructure
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.hardware import DasdDevice
@@ -30,8 +31,8 @@ def batch_demo() -> None:
     print("=== JES multi-access spool ===")
     cfg = SysplexConfig(n_systems=3,
                         db=DatabaseConfig(n_pages=6000, buffer_pages=2000))
-    plex, _ = build_loaded_sysplex(cfg, mode="closed",
-                                   terminals_per_system=0)
+    plex, _ = build_loaded_sysplex(
+        cfg, options=RunOptions(terminals_per_system=0))
     spool = JesSpool(n_members=3)
     plex.xes.allocate(ListStructure("JESCKPT", n_headers=spool.n_headers))
     members = [
@@ -69,8 +70,8 @@ def vsam_demo() -> None:
     print("=== VSAM record-level sharing ===")
     cfg = SysplexConfig(n_systems=2,
                         db=DatabaseConfig(n_pages=6000, buffer_pages=2000))
-    plex, _ = build_loaded_sysplex(cfg, mode="closed",
-                                   terminals_per_system=0)
+    plex, _ = build_loaded_sysplex(
+        cfg, options=RunOptions(terminals_per_system=0))
     catalog = VsamCatalog(first_page=1_000_000)
     catalog.define("ACCOUNTS", max_cis=200, records_per_ci=20)
     rls = []

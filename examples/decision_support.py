@@ -8,6 +8,7 @@ coordinator — the paper's second workload class.
 Run:  python examples/decision_support.py
 """
 
+from repro import RunOptions
 from repro.experiments.common import scaled_config
 from repro.runner import build_loaded_sysplex
 from repro.workloads.dss import Query, QuerySplitter
@@ -15,8 +16,8 @@ from repro.workloads.dss import Query, QuerySplitter
 
 def main() -> None:
     config = scaled_config(8, seed=3)
-    plex, _gen = build_loaded_sysplex(config, mode="closed",
-                                      terminals_per_system=0)
+    plex, _gen = build_loaded_sysplex(
+        config, options=RunOptions(terminals_per_system=0))
     splitter = QuerySplitter(plex.sim, plex.nodes, plex.farm, plex.wlm,
                              config.xcf)
     scan_pages = 60_000

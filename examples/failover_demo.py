@@ -10,6 +10,7 @@ workload — all while transactions keep completing.
 Run:  python examples/failover_demo.py
 """
 
+from repro import RunOptions
 from repro import ArmConfig, CpuConfig, SysplexConfig, XcfConfig
 from repro.config import DatabaseConfig
 from repro.runner import build_loaded_sysplex
@@ -26,8 +27,8 @@ def main() -> None:
         seed=7,
     )
     plex, gen = build_loaded_sysplex(
-        config, mode="open", offered_tps_per_system=180.0,
-        router_policy="wlm",
+        config, options=RunOptions(mode="open", offered_tps_per_system=180.0,
+                                   router_policy="wlm"),
     )
     victim = plex.nodes[2]
     fail_at = 1.0

@@ -10,6 +10,7 @@ transactions), bring it back, and display again.
 Run:  python examples/operations_demo.py
 """
 
+from repro import RunOptions
 from repro.experiments.common import scaled_config
 from repro.runner import build_loaded_sysplex
 
@@ -23,8 +24,9 @@ def show(console, label):
 
 def main() -> None:
     plex, gen = build_loaded_sysplex(
-        scaled_config(3, seed=11), mode="open",
-        offered_tps_per_system=150, router_policy="wlm",
+        scaled_config(3, seed=11),
+        options=RunOptions(mode="open", offered_tps_per_system=150,
+                           router_policy="wlm"),
     )
     console = plex.console
     plex.sim.run(until=1.0)

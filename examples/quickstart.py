@@ -4,26 +4,28 @@
 Builds the full stack — coupling facility (lock/cache/list structures),
 MVS services (XCF, heartbeat, WLM, ARM), database + transaction managers —
 drives a closed-loop OLTP workload to saturation, and prints what the
-sysplex did.
+sysplex did.  Uses only the stable public surface (``repro.__all__``).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import run_oltp
-from repro.experiments.common import scaled_config
+from repro import CpuConfig, DatabaseConfig, SysplexConfig, run
 
 
 def main() -> None:
-    # scaled_config sizes the database and DASD farm to the engine count
-    # (the TPC discipline) so the run measures the architecture, not an
+    # database and DASD farm sized to the engine count (the TPC
+    # discipline) so the run measures the architecture, not an
     # artificially hot page
-    config = scaled_config(
-        n_systems=4,   # four MVS images ...
-        n_cpus=2,      # ... each a 2-way TCMP
+    engines = 4 * 2
+    config = SysplexConfig(
+        n_systems=4,                                 # four MVS images ...
+        cpu=CpuConfig(n_cpus=2),                     # ... each a 2-way TCMP
+        db=DatabaseConfig(n_pages=25_000 * engines),
+        n_dasd=16 * engines,
         seed=42,
     )
     print("building a 4 x 2-way Parallel Sysplex and running OLTP...")
-    result = run_oltp(config, duration=1.0, warmup=0.4)
+    result = run(config, duration=1.0, warmup=0.4)
 
     print(f"\n{result.row()}\n")
     print(f"  completed transactions : {result.completed}")

@@ -7,19 +7,34 @@ Sysplex growing 1->16 single-engine systems, and draws the paper's
 Figure 3 as ASCII art.
 
 Run:  python examples/scalability_sweep.py        (~1 minute)
+
+Uses only the stable public surface (``repro.__all__``).
 """
 
-from repro.experiments.common import scaled_config
-from repro.runner import run_oltp
+from repro import CpuConfig, DatabaseConfig, SysplexConfig, run
+
+
+def capacity_config(n_systems: int, n_cpus: int,
+                    data_sharing: bool) -> SysplexConfig:
+    """Database and DASD farm scaled to the engine count (TPC discipline)."""
+    engines = max(2, n_systems * n_cpus)
+    return SysplexConfig(
+        n_systems=n_systems,
+        cpu=CpuConfig(n_cpus=n_cpus),
+        db=DatabaseConfig(n_pages=25_000 * engines),
+        n_dasd=16 * engines,
+        data_sharing=data_sharing,
+        n_cfs=1 if data_sharing else 0,
+    )
 
 
 def measure(points, sysplex: bool):
     rows = []
     base = None
     for p in points:
-        cfg = (scaled_config(p, 1, data_sharing=p > 1)
-               if sysplex else scaled_config(1, p, data_sharing=False))
-        r = run_oltp(cfg, duration=0.4, warmup=0.3)
+        cfg = (capacity_config(p, 1, data_sharing=p > 1)
+               if sysplex else capacity_config(1, p, data_sharing=False))
+        r = run(cfg, duration=0.4, warmup=0.3)
         itr = r.throughput / max(r.mean_utilization, 1e-9)
         if base is None and p == 1:
             base = itr

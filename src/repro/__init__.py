@@ -10,14 +10,24 @@ transaction managers, VTAM generic resources), the shared-nothing
 baseline the paper argues against, and the workloads/benchmarks that
 reproduce its Figure 3 and §4 overhead claims.
 
-Quickstart::
+Quickstart — :func:`run` is the one entry point::
 
-    from repro import SysplexConfig, CpuConfig, run_oltp
+    from repro import CpuConfig, RunOptions, SysplexConfig, run
 
     cfg = SysplexConfig(n_systems=4, cpu=CpuConfig(n_cpus=2))
-    result = run_oltp(cfg, duration=1.0)
+    result = run(cfg, options=RunOptions(router_policy="wlm"), duration=1.0)
     print(result.row())
+
+or, declaratively (cache- and sweep-friendly)::
+
+    from repro import RunSpec, execute
+
+    spec = RunSpec(config=cfg, duration=1.0)
+    result = run(spec)              # one spec, in-process
+    results = execute([spec, ...])  # many specs: pool + result cache
 """
+
+from typing import Optional, Union
 
 from .config import (
     ArmConfig,
@@ -34,6 +44,7 @@ from .config import (
 )
 from .executor import ResultCache, execute
 from .metrics import RunResult, scalability_table
+from .options import RunOptions
 from .runner import build_loaded_sysplex, run_oltp, run_spec
 from .runspec import RunSpec
 from .sysplex import Instance, Sysplex
@@ -45,8 +56,44 @@ from .trace_analysis import (
     format_attribution,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+
+def run(spec_or_config: Union[RunSpec, SysplexConfig],
+        options: Optional[RunOptions] = None,
+        **kwargs):
+    """Run one simulation — the unified front door.
+
+    Accepts either form of "what to run":
+
+    * a :class:`SysplexConfig` — an OLTP window is run over it;
+      ``options`` plus any :func:`repro.runner.run_oltp` keywords
+      (``duration``, ``warmup``, ``label``, ``trace``) apply directly;
+    * a :class:`RunSpec` — executed via its runner; ``options`` and
+      keyword overrides (``duration=``, ``tracing=``, ...) are folded
+      into the spec with :meth:`RunSpec.replace` first, so the result is
+      identical to running the adjusted spec through the executor.
+
+    Returns whatever the runner returns — a :class:`RunResult` for OLTP
+    runs, a JSON-serializable payload for scenario runners.
+    """
+    if isinstance(spec_or_config, RunSpec):
+        spec = spec_or_config
+        if options is not None:
+            spec = spec.replace(options=options)
+        if kwargs:
+            spec = spec.replace(**kwargs)
+        return spec.run()
+    if isinstance(spec_or_config, SysplexConfig):
+        return run_oltp(spec_or_config, options=options, **kwargs)
+    raise TypeError(
+        f"run() expects a RunSpec or SysplexConfig, "
+        f"got {type(spec_or_config).__name__}"
+    )
+
+
+#: The stable public surface.  Everything else under ``repro.*`` is
+#: implementation detail and may move between minor versions.
 __all__ = [
     "ArmConfig",
     "Attribution",
@@ -58,6 +105,7 @@ __all__ = [
     "LinkConfig",
     "OltpConfig",
     "ResultCache",
+    "RunOptions",
     "RunResult",
     "RunSpec",
     "Span",
@@ -72,6 +120,7 @@ __all__ = [
     "execute",
     "format_attribution",
     "quick_sysplex",
+    "run",
     "run_oltp",
     "run_spec",
     "scalability_table",

@@ -54,8 +54,8 @@ def run_case_spec(spec: RunSpec) -> dict:
     hot_records = spec.params["hot_records"]
     config = spec.config
     duration, warmup = spec.duration, spec.warmup
-    plex, gen = build_loaded_sysplex(config, mode=spec.mode,
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(
+        config, options=spec.options.replace(terminals_per_system=0))
     catalog = VsamCatalog(first_page=10_000_000)
     catalog.define("HOT", max_cis=2_000, records_per_ci=20)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..hardware.failures import FailureInjector
+from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from .common import print_rows, scaled_config, sweep
@@ -49,8 +50,9 @@ def availability_spec(n_systems: int = 4,
         xcf=XcfConfig(heartbeat_interval=0.25),
     )
     return RunSpec(
-        runner=UNPLANNED_RUNNER, config=config, mode="open",
-        router_policy="wlm", label=f"avail-unplanned-{n_systems}",
+        runner=UNPLANNED_RUNNER, config=config,
+        options=RunOptions(mode="open", router_policy="wlm"),
+        label=f"avail-unplanned-{n_systems}",
         params={"offered_fraction": offered_fraction, "window": window},
     )
 
@@ -64,9 +66,7 @@ def run_unplanned_spec(spec: RunSpec) -> Dict:
     per_system_capacity = 330.0
     offered = per_system_capacity * spec.params["offered_fraction"]
     plex, gen = build_loaded_sysplex(
-        config, mode=spec.mode, offered_tps_per_system=offered,
-        router_policy=spec.router_policy,
-    )
+        config, options=spec.options.replace(offered_tps_per_system=offered))
     fail_at = 3 * window
     victim = plex.nodes[n_systems - 1]
     FailureInjector(plex.sim).crash_system(victim, at=fail_at)
@@ -125,7 +125,8 @@ def rolling_spec(n_systems: int = 3,
     """Declare the planned rolling-maintenance scenario."""
     return RunSpec(
         runner=ROLLING_RUNNER, config=scaled_config(n_systems, seed=seed),
-        mode="open", offered_tps_per_system=180.0, router_policy="wlm",
+        options=RunOptions(mode="open", offered_tps_per_system=180.0,
+                           router_policy="wlm"),
         label=f"avail-rolling-{n_systems}", params={"outage": outage},
     )
 
@@ -135,11 +136,7 @@ def run_rolling_spec(spec: RunSpec) -> Dict:
     config = spec.config
     n_systems = config.n_systems
     outage = spec.params["outage"]
-    plex, gen = build_loaded_sysplex(
-        config, mode=spec.mode,
-        offered_tps_per_system=spec.offered_tps_per_system,
-        router_policy=spec.router_policy,
-    )
+    plex, gen = build_loaded_sysplex(config, options=spec.options)
     inj = FailureInjector(plex.sim)
     inj.rolling_maintenance(plex.nodes, start=1.0, outage=outage, gap=1.5)
     total = 1.0 + n_systems * (outage + 1.5) + 1.0

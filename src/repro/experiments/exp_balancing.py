@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..baselines.partitioned import PartitionedCluster
+from ..options import RunOptions
 from ..runspec import RunSpec
 from ..sysplex import Sysplex
 from ..workloads.oltp import OltpGenerator
@@ -105,7 +106,7 @@ def balancing_specs(n_systems: int = 4,
         runner=CASE_RUNNER,
         config=scaled_config(n_systems, data_sharing=False, seed=seed),
         duration=duration, warmup=warmup,
-        offered_tps_per_system=offered_per_system,
+        options=RunOptions(offered_tps_per_system=offered_per_system),
         label="partitioned",
         params={"case": "partitioned", "spike_factor": spike_factor},
     )]
@@ -114,7 +115,7 @@ def balancing_specs(n_systems: int = 4,
             runner=CASE_RUNNER,
             config=scaled_config(n_systems, seed=seed),
             duration=duration, warmup=warmup,
-            offered_tps_per_system=offered_per_system,
+            options=RunOptions(offered_tps_per_system=offered_per_system),
             label=f"sysplex-{policy}",
             params={"case": policy, "spike_factor": spike_factor},
         )

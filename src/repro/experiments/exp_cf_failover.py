@@ -39,7 +39,7 @@ def run_cf_failover_spec(spec: RunSpec) -> Dict:
     """Scenario runner: lose 1 of 2 CFs mid-run, watch the rebuild."""
     config = spec.config
     window = spec.params["window"]
-    plex, gen = build_loaded_sysplex(config, mode="closed")
+    plex, gen = build_loaded_sysplex(config, options=spec.options)
     fail_at = 4 * window
     plex.sim.call_at(fail_at,
                      lambda: plex.xes.find("IRLMLOCK1").facility.fail())

@@ -47,8 +47,8 @@ def run_case_spec(spec: RunSpec) -> dict:
     p = spec.params["parallelism"]
     scan_pages = spec.params["scan_pages"]
     config = spec.config
-    plex, gen = build_loaded_sysplex(config, mode=spec.mode,
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(
+        config, options=spec.options.replace(terminals_per_system=0))
     splitter = QuerySplitter(plex.sim, plex.nodes, plex.farm, plex.wlm,
                              config.xcf)
     elapsed: List[float] = []

@@ -45,8 +45,8 @@ def run_gr_spec(spec: RunSpec) -> Dict:
     n_systems = config.n_systems
     n_users = spec.params["n_users"]
     seed = spec.params["seed"]
-    plex, gen = build_loaded_sysplex(config, mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(
+        config, options=spec.options.replace(terminals_per_system=0))
     connections = {
         name: inst.xes_list for name, inst in plex.instances.items()
     }

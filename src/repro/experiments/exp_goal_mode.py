@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from ..workloads.dss import Query, QuerySplitter
@@ -41,8 +42,10 @@ def goal_mode_specs(duration: float = 1.2, seed: int = 1) -> List[RunSpec]:
     return [
         RunSpec(
             runner=CASE_RUNNER, config=scaled_config(4, seed=seed),
-            duration=duration, warmup=0.4, mode="open",
-            offered_tps_per_system=230.0, router_policy="wlm", label=label,
+            duration=duration, warmup=0.4,
+            options=RunOptions(mode="open", offered_tps_per_system=230.0,
+                               router_policy="wlm"),
+            label=label,
             params={"with_batch": with_batch, "use_policy": use_policy},
         )
         for label, with_batch, use_policy in cases
@@ -54,11 +57,7 @@ def run_case_spec(spec: RunSpec) -> dict:
     label = spec.label
     with_batch = spec.params["with_batch"]
     use_policy = spec.params["use_policy"]
-    plex, gen = build_loaded_sysplex(
-        spec.config, mode=spec.mode,
-        offered_tps_per_system=spec.offered_tps_per_system,
-        router_policy=spec.router_policy,
-    )
+    plex, gen = build_loaded_sysplex(spec.config, options=spec.options)
     wlm = plex.wlm
     wlm.define_service_class("QUERY", response_goal=5.0, importance=5)
     splitter = QuerySplitter(plex.sim, plex.nodes, plex.farm, wlm,

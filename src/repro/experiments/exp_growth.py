@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..baselines.partitioned import PartitionedCluster
+from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from ..workloads.oltp import OltpGenerator
@@ -40,14 +41,17 @@ def growth_specs(n_initial: int = 3,
     return [
         RunSpec(
             runner=SYSPLEX_RUNNER,
-            config=scaled_config(n_initial, seed=seed), mode="open",
-            offered_tps_per_system=offered_per_system,
-            router_policy="wlm", label="growth-sysplex", params=params,
+            config=scaled_config(n_initial, seed=seed),
+            options=RunOptions(mode="open",
+                               offered_tps_per_system=offered_per_system,
+                               router_policy="wlm"),
+            label="growth-sysplex", params=params,
         ),
         RunSpec(
             runner=PARTITIONED_RUNNER,
             config=scaled_config(n_initial, data_sharing=False, seed=seed),
-            mode="open", offered_tps_per_system=offered_per_system,
+            options=RunOptions(mode="open",
+                               offered_tps_per_system=offered_per_system),
             label="growth-partitioned", params=params,
         ),
     ]
@@ -58,11 +62,7 @@ def run_sysplex_spec(spec: RunSpec) -> Dict:
     n_initial = spec.params["n_initial"]
     window = spec.params["window"]
     add_at = 4 * window
-    plex, gen = build_loaded_sysplex(
-        spec.config, mode=spec.mode,
-        offered_tps_per_system=spec.offered_tps_per_system,
-        router_policy=spec.router_policy,
-    )
+    plex, gen = build_loaded_sysplex(spec.config, options=spec.options)
     counter = plex.metrics.counter("txn.completed")
     timeline: List[dict] = []
     prev = 0

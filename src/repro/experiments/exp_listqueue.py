@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from ..subsystems.txn import ListQueueRouter
@@ -35,8 +36,9 @@ def listqueue_specs(n_systems: int = 4,
         RunSpec(
             runner=CASE_RUNNER,
             config=scaled_config(n_systems, seed=seed),
-            duration=duration, warmup=warmup, mode="open",
-            router_policy="local", label=mode,
+            duration=duration, warmup=warmup,
+            options=RunOptions(mode="open", router_policy="local"),
+            label=mode,
             params={"mode": mode, "offered_total": offered_total},
         )
         for mode in ("static-local", "shared-cf-list")
@@ -48,9 +50,8 @@ def run_case_spec(spec: RunSpec) -> dict:
     mode = spec.params["mode"]
     offered_total = spec.params["offered_total"]
     plex, gen = build_loaded_sysplex(
-        spec.config, mode=spec.mode, offered_tps_per_system=0.0,
-        router_policy=spec.router_policy,
-    )
+        spec.config,
+        options=spec.options.replace(offered_tps_per_system=0.0))
     if mode == "shared-cf-list":
         connections = {
             name: inst.xes_list

@@ -59,7 +59,7 @@ def locktable_specs(sizes: Sequence[int] = TABLE_SIZES,
 def run_table_spec(spec: RunSpec) -> dict:
     """Scenario runner: contention rates at one lock-table size."""
     size = spec.config.cf.lock_table_entries
-    plex, gen = build_loaded_sysplex(spec.config, mode="closed")
+    plex, gen = build_loaded_sysplex(spec.config, options=spec.options)
     plex.sim.run(until=spec.warmup)
     structure = plex.xes.find("IRLMLOCK1")
     req0 = structure.requests
@@ -100,8 +100,8 @@ def grant_latency_spec(n_samples: int = 400, seed: int = 1) -> RunSpec:
 def run_latency_spec(spec: RunSpec) -> Dict:
     """Scenario runner: uncontended sync lock grants on an idle sysplex."""
     n_samples = spec.params["n_samples"]
-    plex, gen = build_loaded_sysplex(spec.config, mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(
+        spec.config, options=spec.options.replace(terminals_per_system=0))
     mgr = plex.instances["SYS00"].lockmgr
     tally = Tally("grant")
 

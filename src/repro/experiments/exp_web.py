@@ -62,8 +62,8 @@ def run_case_spec(spec: RunSpec) -> dict:
     kill_index = spec.params["kill_index"]
     rate = spec.params["rate"]
     duration, warmup = spec.duration, spec.warmup
-    plex, gen = build_loaded_sysplex(spec.config, mode=spec.mode,
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(
+        spec.config, options=spec.options.replace(terminals_per_system=0))
     web_cfg = WebConfig()
     stacks = [
         TcpStack(plex.sim, inst.node, plex.farm, web_cfg,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from ..options import RunOptions
 from ..runspec import RunSpec
 from .common import QUICK, print_rows, scaled_config, sweep
 
@@ -35,13 +36,13 @@ def fig3_specs(tcmp_points: Sequence[int] = TCMP_POINTS,
     specs = [RunSpec(
         config=scaled_config(1, 1, data_sharing=False, seed=seed),
         duration=duration, warmup=warmup, label="base-1cpu",
-        tracing=tracing,
+        options=RunOptions(tracing=tracing),
     )]
     specs += [
         RunSpec(
             config=scaled_config(1, n, data_sharing=False, seed=seed),
             duration=duration, warmup=warmup, label=f"tcmp-{n}",
-            tracing=tracing,
+            options=RunOptions(tracing=tracing),
         )
         for n in tcmp_points
     ]
@@ -50,7 +51,7 @@ def fig3_specs(tcmp_points: Sequence[int] = TCMP_POINTS,
             # a 1-system "sysplex" needs no CF traffic
             config=scaled_config(k, 1, data_sharing=k > 1, seed=seed),
             duration=duration, warmup=warmup, label=f"plex-{k}",
-            tracing=tracing,
+            options=RunOptions(tracing=tracing),
         )
         for k in plex_points
     ]

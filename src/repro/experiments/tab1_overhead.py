@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..options import RunOptions
 from ..runspec import RunSpec
 from ..trace_analysis import CATEGORIES, attribution_delta
 from .common import QUICK, print_rows, scaled_config
@@ -34,13 +35,13 @@ def tab1_specs(sweep_points: Sequence[int] = SWEEP,
     specs = [RunSpec(
         config=scaled_config(1, 1, data_sharing=False, seed=seed),
         duration=duration, warmup=warmup, label="1-system no-DS",
-        tracing=tracing,
+        options=RunOptions(tracing=tracing),
     )]
     specs += [
         RunSpec(
             config=scaled_config(n, 1, seed=seed),
             duration=duration, warmup=warmup, label=f"{n}-system DS",
-            tracing=tracing and n == 2,
+            options=RunOptions(tracing=tracing and n == 2),
         )
         for n in sweep_points
     ]

@@ -15,7 +15,7 @@ the difference:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..config import LinkConfig, XcfConfig
 from ..simkernel import Resource, Simulator, Store
@@ -77,11 +77,25 @@ class LinkSet:
         ]
 
     def pick(self) -> CouplingLink:
-        """Least-busy operational link (channel subsystem path selection)."""
-        candidates = [link for link in self.links if link.operational]
-        if not candidates:
+        """Least-busy operational link (channel subsystem path selection).
+
+        First link wins ties (as ``min`` over the list would pick);
+        written as a plain scan so the per-command path allocates no
+        candidate list or key closures.
+        """
+        best = None
+        best_busy = 0
+        for link in self.links:
+            if not link.operational:
+                continue
+            sub = link.subchannels
+            busy = len(sub.users) + len(sub._waiters)
+            if best is None or busy < best_busy:
+                best = link
+                best_busy = busy
+        if best is None:
             raise LinkDownError("all coupling links down")
-        return min(candidates, key=lambda link: link.busy())
+        return best
 
     def fail_link(self, index: int = 0) -> None:
         self.links[index].operational = False

@@ -1,0 +1,84 @@
+"""Drive options: how a sysplex run is loaded, routed, and observed.
+
+:class:`RunOptions` is the frozen bundle of workload-drive parameters
+that used to travel as loose keyword arguments through
+:func:`repro.runner.run_oltp` and :func:`repro.runner.build_loaded_sysplex`
+(``mode=``, ``router_policy=``, ``tracing=``, ...).  Bundling them gives
+the public API one typed, hashable, JSON-serializable object that
+
+* :func:`repro.run` and the runner entry points accept directly,
+* :class:`repro.runspec.RunSpec` embeds verbatim, so the drive options
+  participate in the spec's content hash (and therefore in the result
+  cache's identity rule).
+
+The old loose-kwarg style still works on the runner entry points but
+raises :class:`DeprecationWarning`; see :mod:`repro.runner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+__all__ = ["RunOptions", "OPTION_FIELDS"]
+
+#: The two workload drive modes (see OltpGenerator): ``closed`` keeps a
+#: fixed terminal population in think/submit loops; ``open`` offers an
+#: arrival stream at a fixed rate regardless of completions.
+_MODES = ("closed", "open")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How to drive one simulation run (everything but *what* to build).
+
+    All fields are plain data so the bundle serializes losslessly into
+    :meth:`RunSpec.to_dict <repro.runspec.RunSpec.to_dict>` and hashes
+    into ``RunSpec.content_hash``.
+    """
+
+    #: ``"closed"`` (terminals with think time) or ``"open"`` (Poisson
+    #: offered load).
+    mode: str = "closed"
+    #: Work routing policy: ``"local"``, ``"threshold"`` (the paper's
+    #: stay-local-unless-overloaded), or ``"wlm"``.
+    router_policy: str = "threshold"
+    #: Attach the heartbeat/SFM monitor to every system.
+    monitoring: bool = True
+    #: Attach the transaction-level span tracer (overhead attribution).
+    tracing: bool = False
+    #: Closed-loop terminal count per system; ``None`` derives it from
+    #: the config (``terminals_per_cpu * n_cpus``).
+    terminals_per_system: Optional[int] = None
+    #: Open-loop offered transactions/second per system.
+    offered_tps_per_system: float = 200.0
+
+    def __post_init__(self):
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown drive mode {self.mode!r} (expected one of {_MODES})"
+            )
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "router_policy": self.router_policy,
+            "monitoring": self.monitoring,
+            "tracing": self.tracing,
+            "terminals_per_system": self.terminals_per_system,
+            "offered_tps_per_system": self.offered_tps_per_system,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunOptions":
+        return cls(**data)
+
+    def replace(self, **changes) -> "RunOptions":
+        """A copy with ``changes`` applied (frozen-dataclass friendly)."""
+        return replace(self, **changes)
+
+
+#: Field names of :class:`RunOptions` — the keys the deprecation shims
+#: and :meth:`RunSpec.replace` recognize as drive options.
+OPTION_FIELDS = frozenset(f.name for f in fields(RunOptions))

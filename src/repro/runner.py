@@ -1,15 +1,23 @@
 """High-level entry points: build a sysplex, drive a workload, measure.
 
-These are the functions the examples and the benchmark harness call; each
-returns :class:`repro.metrics.RunResult`.
+These are the functions behind the :func:`repro.run` facade; each returns
+:class:`repro.metrics.RunResult`.  Drive parameters travel as one
+:class:`~repro.options.RunOptions` bundle.  The pre-1.1 loose keyword
+style (``mode=``, ``router_policy=``, ``tracing=``, ...) still works but
+raises :class:`DeprecationWarning`::
+
+    run_oltp(cfg, duration=1.0, tracing=True)                  # deprecated
+    run_oltp(cfg, duration=1.0, options=RunOptions(tracing=True))  # current
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+import warnings
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from .config import SysplexConfig
 from .metrics import RunResult
+from .options import OPTION_FIELDS, RunOptions
 from .sysplex import Sysplex
 from .workloads.oltp import OltpGenerator
 from .workloads.traces import DemandTrace
@@ -20,23 +28,43 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["run_oltp", "run_spec", "build_loaded_sysplex"]
 
 
+def _resolve_options(options: Optional[RunOptions], legacy: dict,
+                     caller: str) -> RunOptions:
+    """Merge deprecated loose kwargs into a RunOptions bundle (warning once
+    per call site), or pass an explicit bundle through untouched."""
+    if legacy:
+        unknown = set(legacy) - OPTION_FIELDS
+        if unknown:
+            raise TypeError(
+                f"{caller}() got unexpected keyword arguments "
+                f"{sorted(unknown)}"
+            )
+        warnings.warn(
+            f"passing {sorted(legacy)} to {caller}() as loose keyword "
+            f"arguments is deprecated; pass options=RunOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return (options or RunOptions()).replace(**legacy)
+    return options if options is not None else RunOptions()
+
+
 def build_loaded_sysplex(config: SysplexConfig,
-                         mode: str = "closed",
-                         offered_tps_per_system: float = 200.0,
+                         options: Optional[RunOptions] = None,
                          trace: Optional[DemandTrace] = None,
-                         router_policy: str = "threshold",
-                         monitoring: bool = True,
-                         terminals_per_system: Optional[int] = None,
-                         tracing: bool = False):
+                         **legacy) -> Tuple[Sysplex, OltpGenerator]:
     """Construct a sysplex with an OLTP workload attached (not yet run).
 
     Returns ``(sysplex, generator)`` so callers can inject failures or
-    add systems before/while running.  ``tracing=True`` attaches the
-    transaction-level span tracer (see :mod:`repro.trace`), making
-    per-category overhead attribution available from ``collect()``.
+    add systems before/while running.  ``options`` bundles the drive
+    parameters; ``trace`` optionally replays a recorded demand trace.
+    With ``options.tracing`` the transaction-level span tracer is
+    attached (see :mod:`repro.trace`), making per-category overhead
+    attribution available from ``collect()``.
     """
-    plex = Sysplex(config, monitoring=monitoring, router_policy=router_policy,
-                   tracing=tracing)
+    opts = _resolve_options(options, legacy, "build_loaded_sysplex")
+    plex = Sysplex(config, monitoring=opts.monitoring,
+                   router_policy=opts.router_policy, tracing=opts.tracing)
     gen = OltpGenerator(
         plex.sim,
         config.oltp,
@@ -47,16 +75,13 @@ def build_loaded_sysplex(config: SysplexConfig,
         trace=trace,
         tracer=plex.tracer,
     )
-    if mode == "closed":
-        if terminals_per_system is None:
-            terminals_per_system = (
-                config.oltp.terminals_per_cpu * config.cpu.n_cpus
-            )
-        gen.start_closed_loop(terminals_per_system)
-    elif mode == "open":
-        gen.start_open_loop(offered_tps_per_system)
-    else:
-        raise ValueError(f"unknown drive mode {mode!r}")
+    if opts.mode == "closed":
+        terminals = opts.terminals_per_system
+        if terminals is None:
+            terminals = config.oltp.terminals_per_cpu * config.cpu.n_cpus
+        gen.start_closed_loop(terminals)
+    else:  # "open" — RunOptions validates the mode at construction
+        gen.start_open_loop(opts.offered_tps_per_system)
     # steady-state setup: pools start warm with the hot working set, as
     # they would be after hours of production running
     hot = gen.sampler.hottest(config.db.buffer_pages)
@@ -68,39 +93,28 @@ def build_loaded_sysplex(config: SysplexConfig,
 def run_oltp(config: SysplexConfig,
              duration: float = 1.0,
              warmup: float = 0.3,
-             mode: str = "closed",
-             offered_tps_per_system: float = 200.0,
-             trace: Optional[DemandTrace] = None,
-             router_policy: str = "threshold",
-             monitoring: bool = True,
+             options: Optional[RunOptions] = None,
              label: Optional[str] = None,
-             terminals_per_system: Optional[int] = None,
-             tracing: bool = False) -> RunResult:
+             trace: Optional[DemandTrace] = None,
+             **legacy) -> RunResult:
     """Run one measured OLTP window and return its results.
 
     ``warmup`` simulated seconds are run and discarded (buffer pools fill,
     WLM utilization estimates settle), then ``duration`` seconds are
-    measured.  With ``tracing=True`` the result's ``extras`` additionally
-    carries ``trace.*`` overhead-attribution keys (µs and %% of mean
-    response per lifecycle category — see :mod:`repro.trace_analysis`).
+    measured.  With ``options.tracing`` the result's ``extras``
+    additionally carries ``trace.*`` overhead-attribution keys (µs and %%
+    of mean response per lifecycle category — see
+    :mod:`repro.trace_analysis`).
     """
-    plex, _gen = build_loaded_sysplex(
-        config,
-        mode=mode,
-        offered_tps_per_system=offered_tps_per_system,
-        trace=trace,
-        router_policy=router_policy,
-        monitoring=monitoring,
-        terminals_per_system=terminals_per_system,
-        tracing=tracing,
-    )
+    opts = _resolve_options(options, legacy, "run_oltp")
+    plex, _gen = build_loaded_sysplex(config, options=opts, trace=trace)
     plex.sim.run(until=warmup)
     plex.reset_measurement()
     plex.sim.run(until=warmup + duration)
     if label is None:
         sharing = "DS" if config.data_sharing and config.n_cfs else "noDS"
         label = (
-            f"{config.n_systems}x{config.cpu.n_cpus}cpu {sharing} {mode}"
+            f"{config.n_systems}x{config.cpu.n_cpus}cpu {sharing} {opts.mode}"
         )
     return plex.collect(label)
 
@@ -109,7 +123,7 @@ def run_spec(spec: "RunSpec") -> RunResult:
     """Execute a declarative OLTP :class:`~repro.runspec.RunSpec`.
 
     This is the executor's default runner (the ``"oltp"`` alias): the
-    spec's config and drive fields map 1:1 onto :func:`run_oltp`.
+    spec's config, window, and options map 1:1 onto :func:`run_oltp`.
     """
     if spec.config is None:
         raise ValueError("an 'oltp' RunSpec needs a SysplexConfig")
@@ -117,11 +131,6 @@ def run_spec(spec: "RunSpec") -> RunResult:
         spec.config,
         duration=spec.duration,
         warmup=spec.warmup,
-        mode=spec.mode,
-        offered_tps_per_system=spec.offered_tps_per_system,
-        router_policy=spec.router_policy,
-        monitoring=spec.monitoring,
+        options=spec.options,
         label=spec.label,
-        terminals_per_system=spec.terminals_per_system,
-        tracing=spec.tracing,
     )

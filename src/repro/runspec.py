@@ -40,6 +40,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Optional
 
 from .config import SysplexConfig
+from .options import OPTION_FIELDS, RunOptions
 
 __all__ = [
     "RunSpec",
@@ -50,8 +51,9 @@ __all__ = [
 
 #: Bumped whenever the serialized spec format (or the meaning of any
 #: field) changes, so stale ``.runcache`` entries can never be replayed
-#: against a new schema.
-SCHEMA_VERSION = 1
+#: against a new schema.  v2: drive parameters moved from loose spec
+#: fields into a nested :class:`~repro.options.RunOptions` bundle.
+SCHEMA_VERSION = 2
 
 #: Short names for the built-in runners.
 RUNNER_ALIASES: Dict[str, str] = {
@@ -102,23 +104,47 @@ def canonical_json(data: Any) -> str:
 class RunSpec:
     """One independent, reproducible simulation run, as data.
 
-    ``config`` and the drive fields mirror :func:`repro.runner.run_oltp`;
-    scenario runners are free to interpret ``params`` however they like
-    (everything in it must be JSON-serializable).
+    ``config`` says *what* to build, ``options`` says *how* to drive it
+    (mirroring :func:`repro.runner.run_oltp`); scenario runners are free
+    to interpret ``params`` however they like (everything in it must be
+    JSON-serializable).
     """
 
     runner: str = "oltp"
     config: Optional[SysplexConfig] = None
     duration: float = 1.0
     warmup: float = 0.3
-    mode: str = "closed"
-    offered_tps_per_system: float = 200.0
-    router_policy: str = "threshold"
-    monitoring: bool = True
-    terminals_per_system: Optional[int] = None
-    tracing: bool = False
+    options: RunOptions = RunOptions()
     label: Optional[str] = None
     params: Dict[str, Any] = field(default_factory=dict)
+
+    # -- drive-option views ------------------------------------------------
+    # Read-only pass-throughs so spec consumers (runners, reports) can say
+    # ``spec.tracing`` without reaching into the bundle.
+
+    @property
+    def mode(self) -> str:
+        return self.options.mode
+
+    @property
+    def router_policy(self) -> str:
+        return self.options.router_policy
+
+    @property
+    def monitoring(self) -> bool:
+        return self.options.monitoring
+
+    @property
+    def tracing(self) -> bool:
+        return self.options.tracing
+
+    @property
+    def terminals_per_system(self) -> Optional[int]:
+        return self.options.terminals_per_system
+
+    @property
+    def offered_tps_per_system(self) -> float:
+        return self.options.offered_tps_per_system
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
@@ -127,12 +153,7 @@ class RunSpec:
             "config": self.config.to_dict() if self.config else None,
             "duration": self.duration,
             "warmup": self.warmup,
-            "mode": self.mode,
-            "offered_tps_per_system": self.offered_tps_per_system,
-            "router_policy": self.router_policy,
-            "monitoring": self.monitoring,
-            "terminals_per_system": self.terminals_per_system,
-            "tracing": self.tracing,
+            "options": self.options.to_dict(),
             "label": self.label,
             "params": dict(self.params),
         }
@@ -143,10 +164,27 @@ class RunSpec:
         kw = dict(data)
         if kw.get("config") is not None:
             kw["config"] = SysplexConfig.from_dict(kw["config"])
+        opts = kw.get("options")
+        if isinstance(opts, dict):
+            kw["options"] = RunOptions.from_dict(opts)
+        # schema-v1 dicts carried the drive options as flat spec keys
+        flat = {k: kw.pop(k) for k in list(kw) if k in OPTION_FIELDS}
+        if flat:
+            kw["options"] = kw.get("options", RunOptions()).replace(**flat)
         return cls(**kw)
 
     def replace(self, **changes) -> "RunSpec":
-        """A copy with ``changes`` applied (frozen-dataclass friendly)."""
+        """A copy with ``changes`` applied (frozen-dataclass friendly).
+
+        Drive-option names are routed into the nested bundle, so
+        ``spec.replace(tracing=True)`` keeps working exactly as it did
+        when tracing was a flat spec field.
+        """
+        opt_changes = {k: changes.pop(k) for k in list(changes)
+                       if k in OPTION_FIELDS}
+        if opt_changes:
+            base = changes.get("options", self.options)
+            changes["options"] = base.replace(**opt_changes)
         return replace(self, **changes)
 
     # -- identity ----------------------------------------------------------

@@ -78,6 +78,17 @@ class Tally:
             return math.nan
         return float(np.percentile(self._values, q))
 
+    def percentiles(self, qs) -> List[float]:
+        """Several percentiles in one pass (one sort instead of len(qs)).
+
+        Values are identical to calling :meth:`percentile` per ``q``;
+        result collection (e.g. p50/p90/p95/p99 at window close) uses
+        this batched form.
+        """
+        if not self._values:
+            return [math.nan] * len(qs)
+        return [float(v) for v in np.percentile(self._values, list(qs))]
+
     def values(self) -> np.ndarray:
         return np.asarray(self._values, dtype=np.float64)
 

@@ -13,10 +13,10 @@ models buffer-pool free space and similar counted capacity.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, List
 
-from .core import Event, Simulator, NORMAL
+from .core import _PENDING, _TRIGGERED, Event, Simulator, NORMAL
 
 __all__ = ["Resource", "Request", "Store", "Container"]
 
@@ -35,7 +35,14 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_key")
 
     def __init__(self, resource: "Resource", priority: int):
-        super().__init__(resource.sim)
+        # constructed once per CPU/channel/subchannel claim — the hottest
+        # allocation after Timeout; initialize flat (no Event.__init__)
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = _PENDING
+        self._defused = False
         self.resource = resource
         self.priority = priority
         self._key = None  # set by the resource when queued
@@ -101,21 +108,36 @@ class Resource:
     def request(self, priority: int = NORMAL) -> Request:
         """Claim one unit.  Yield the returned event to wait for the grant."""
         req = Request(self, priority)
-        if len(self.users) < self.capacity and not self._waiters:
-            self._grant(req)
+        users = self.users
+        if len(users) < self.capacity and not self._waiters:
+            # immediate-grant fast path: _grant + Event.succeed flattened
+            # (free capacity is the common case on CPU engines and links)
+            sim = self.sim
+            now = sim._now
+            self._busy_area += len(users) * (now - self._last_change)
+            self._last_change = now
+            users.add(req)
+            req._value = req
+            req._state = _TRIGGERED
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._queue, (now, NORMAL, seq, req))
         else:
             self._seq += 1
             req._key = (priority, self._seq)
-            heapq.heappush(self._waiters, (priority, self._seq, req))
+            heappush(self._waiters, (priority, self._seq, req))
         return req
 
     def release(self, request: Request) -> None:
         """Return one unit previously granted to ``request``."""
-        if request not in self.users:
+        users = self.users
+        if request not in users:
             return
-        self._account()
-        self.users.discard(request)
-        self._dispatch()
+        now = self.sim._now
+        self._busy_area += len(users) * (now - self._last_change)
+        self._last_change = now
+        users.discard(request)
+        if self._waiters and len(users) < self.capacity:
+            self._dispatch()
 
     def _grant(self, req: Request) -> None:
         self._account()
@@ -124,7 +146,7 @@ class Resource:
 
     def _dispatch(self) -> None:
         while self._waiters and len(self.users) < self.capacity:
-            _p, _s, req = heapq.heappop(self._waiters)
+            _p, _s, req = heappop(self._waiters)
             if req._key is None:
                 continue  # cancelled while queued
             req._key = False

@@ -65,6 +65,11 @@ class TransactionManager:
         self.completed = 0
         self.deadlock_retries = 0
         self.failed_txns = 0
+        # per-completion bookkeeping is O(1) appends on pre-resolved
+        # collectors — no name lookup on the commit path
+        self._completed_counter = metrics.counter("txn.completed")
+        self._response_tally = metrics.tally("txn.response")
+        self._node_response_tally = metrics.tally(f"txn.response.{node.name}")
 
     @property
     def available(self) -> bool:
@@ -149,9 +154,9 @@ class TransactionManager:
                 return
             rt = self.sim.now - txn.arrival
             self.completed += 1
-            self.metrics.counter("txn.completed").add()
-            self.metrics.tally("txn.response").record(rt)
-            self.metrics.tally(f"txn.response.{self.node.name}").record(rt)
+            self._completed_counter.add()
+            self._response_tally.record(rt)
+            self._node_response_tally.record(rt)
             self.wlm.record_response(txn.service_class, rt)
             if tr is not None:
                 tr.txn_complete(txn.txn_id, txn.arrival, rt)

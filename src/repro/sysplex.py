@@ -422,6 +422,7 @@ class Sysplex:
         duration = self.sim.now - start
         completed = self.metrics.counter("txn.completed").count - completed0
         rt = self.metrics.tally("txn.response")
+        rt_p50, rt_p90, rt_p95, rt_p99 = rt.percentiles((50, 90, 95, 99))
 
         def _window_util(resource, base: float, capacity: int) -> float:
             if duration <= 0:
@@ -454,10 +455,10 @@ class Sysplex:
             completed=completed,
             throughput=completed / duration if duration > 0 else 0.0,
             response_mean=rt.mean,
-            response_p50=rt.percentile(50),
-            response_p90=rt.percentile(90),
-            response_p95=rt.percentile(95),
-            response_p99=rt.percentile(99),
+            response_p50=rt_p50,
+            response_p90=rt_p90,
+            response_p95=rt_p95,
+            response_p99=rt_p99,
             cpu_utilization={
                 name: _window_util(
                     inst.node.cpu.engines,

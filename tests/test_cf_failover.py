@@ -2,6 +2,7 @@
 CF (paper §3.3: "Multiple CF's can be connected for availability")."""
 
 
+from repro import RunOptions
 from repro.cf import LockMode
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.runner import build_loaded_sysplex
@@ -16,8 +17,7 @@ def dual_cf_cfg(n_systems=3):
 
 
 def test_cf_failure_triggers_automatic_rebuild():
-    plex, gen = build_loaded_sysplex(dual_cf_cfg(), mode="closed",
-                                     terminals_per_system=4)
+    plex, gen = build_loaded_sysplex(dual_cf_cfg(), options=RunOptions(terminals_per_system=4))
     plex.sim.run(until=0.3)
     old_lock = plex.xes.find("IRLMLOCK1")
     failing_cf = old_lock.facility
@@ -39,8 +39,7 @@ def test_cf_failure_triggers_automatic_rebuild():
 
 
 def test_throughput_survives_cf_failover():
-    plex, gen = build_loaded_sysplex(dual_cf_cfg(), mode="closed",
-                                     terminals_per_system=4)
+    plex, gen = build_loaded_sysplex(dual_cf_cfg(), options=RunOptions(terminals_per_system=4))
     plex.sim.run(until=0.5)
     c0 = plex.metrics.counter("txn.completed").count
     plex.xes.find("IRLMLOCK1").facility.fail()
@@ -58,8 +57,7 @@ def test_throughput_survives_cf_failover():
 
 
 def test_rebuild_preserves_lock_interest():
-    plex, gen = build_loaded_sysplex(dual_cf_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(dual_cf_cfg(2), options=RunOptions(terminals_per_system=0))
     inst = plex.instances["SYS00"]
     held_done = []
 
@@ -82,8 +80,7 @@ def test_rebuild_preserves_lock_interest():
 
 
 def test_rebuild_keeps_stale_buffers_invalid():
-    plex, gen = build_loaded_sysplex(dual_cf_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(dual_cf_cfg(2), options=RunOptions(terminals_per_system=0))
     a, b = plex.instances["SYS00"], plex.instances["SYS01"]
     results = []
 
@@ -111,7 +108,7 @@ def test_single_cf_failure_is_fatal_for_sharing():
     plex, gen = build_loaded_sysplex(
         SysplexConfig(n_systems=2, n_cfs=1,
                       db=DatabaseConfig(n_pages=8_000, buffer_pages=3_000)),
-        mode="closed", terminals_per_system=3,
+        options=RunOptions(terminals_per_system=3),
     )
     plex.sim.run(until=0.3)
     plex.cfs[0].fail()

@@ -5,6 +5,7 @@ comparisons across architectures."""
 
 import pytest
 
+from repro import RunOptions
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.runner import run_oltp
 
@@ -18,8 +19,8 @@ def cfg(seed):
 
 
 def test_same_seed_same_result():
-    a = run_oltp(cfg(7), duration=0.3, warmup=0.2, terminals_per_system=6)
-    b = run_oltp(cfg(7), duration=0.3, warmup=0.2, terminals_per_system=6)
+    a = run_oltp(cfg(7), duration=0.3, warmup=0.2, options=RunOptions(terminals_per_system=6))
+    b = run_oltp(cfg(7), duration=0.3, warmup=0.2, options=RunOptions(terminals_per_system=6))
     assert a.completed == b.completed
     assert a.throughput == b.throughput
     assert a.response_mean == b.response_mean
@@ -27,8 +28,8 @@ def test_same_seed_same_result():
 
 
 def test_different_seed_different_trajectory():
-    a = run_oltp(cfg(7), duration=0.3, warmup=0.2, terminals_per_system=6)
-    b = run_oltp(cfg(8), duration=0.3, warmup=0.2, terminals_per_system=6)
+    a = run_oltp(cfg(7), duration=0.3, warmup=0.2, options=RunOptions(terminals_per_system=6))
+    b = run_oltp(cfg(8), duration=0.3, warmup=0.2, options=RunOptions(terminals_per_system=6))
     # same order of magnitude (same physics; short windows are noisy) ...
     assert b.throughput == pytest.approx(a.throughput, rel=1.0)
     # ... but not the identical sample path

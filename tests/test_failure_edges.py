@@ -2,6 +2,7 @@
 outages, CF death mid-command."""
 
 
+from repro import RunOptions
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.hardware import LinkDownError, SystemNode
 from repro.hardware.cpu import SystemDown
@@ -21,8 +22,7 @@ def small_cfg(n=3, **kw):
 def test_sfm_terminates_zombie_system():
     """A system that stops heartbeating while still 'running' is
     fail-stopped by SFM (the paper's flaky-processor scenario)."""
-    plex, gen = build_loaded_sysplex(small_cfg(3), mode="closed",
-                                     terminals_per_system=2)
+    plex, gen = build_loaded_sysplex(small_cfg(3), options=RunOptions(terminals_per_system=2))
     victim = plex.nodes[1]
     # break ONLY the heartbeat: the node stays alive (zombie-ish)
     plex.sim.call_at(1.0, lambda: setattr(victim, "_zombie", True))
@@ -94,8 +94,7 @@ def test_purge_counts():
 
 # ------------------------------------------------------ link outages ----
 def test_all_links_down_fails_cf_commands():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=0))
     inst = plex.instances["SYS00"]
     links = inst.node.cf_links["CF01"]
     for i in range(len(links.links)):
@@ -124,8 +123,7 @@ def test_all_links_down_fails_cf_commands():
 
 
 def test_single_link_failure_is_transparent():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=3)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=3))
     inst = plex.instances["SYS00"]
     inst.node.cf_links["CF01"].fail_link(0)
     plex.sim.run(until=1.0)
@@ -135,8 +133,7 @@ def test_single_link_failure_is_transparent():
 
 
 def test_cf_death_mid_run_without_backup_fails_txns():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=3)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=3))
     plex.sim.run(until=0.3)
     done_before = plex.metrics.counter("txn.completed").count
     plex.cfs[0].fail()

@@ -3,6 +3,7 @@ OFFLINE/ONLINE, rolling upgrade (paper §2.1 single point of control,
 §2.5 planned outages)."""
 
 
+from repro import RunOptions
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.runner import build_loaded_sysplex
 
@@ -15,8 +16,7 @@ def small_cfg(n_systems=3):
 
 
 def test_display_status_covers_all_systems():
-    plex, gen = build_loaded_sysplex(small_cfg(3), mode="closed",
-                                     terminals_per_system=3)
+    plex, gen = build_loaded_sysplex(small_cfg(3), options=RunOptions(terminals_per_system=3))
     plex.sim.run(until=0.5)
     status = plex.console.display_status()
     assert set(status) == {"SYS00", "SYS01", "SYS02"}
@@ -29,8 +29,7 @@ def test_display_status_covers_all_systems():
 
 def test_vary_offline_is_graceful():
     """A planned removal loses zero transactions."""
-    plex, gen = build_loaded_sysplex(small_cfg(3), mode="closed",
-                                     terminals_per_system=4)
+    plex, gen = build_loaded_sysplex(small_cfg(3), options=RunOptions(terminals_per_system=4))
     plex.sim.run(until=0.4)
     drained = []
 
@@ -57,8 +56,7 @@ def test_vary_offline_is_graceful():
 
 
 def test_vary_offline_quiesces_routing_immediately():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=0))
     inst = plex.instances["SYS01"]
     inst.tm.quiesced = True
     assert not inst.tm.available
@@ -72,8 +70,7 @@ def test_vary_offline_quiesces_routing_immediately():
 
 
 def test_vary_online_rejoins_with_fresh_instance():
-    plex, gen = build_loaded_sysplex(small_cfg(3), mode="closed",
-                                     terminals_per_system=3)
+    plex, gen = build_loaded_sysplex(small_cfg(3), options=RunOptions(terminals_per_system=3))
     plex.sim.run(until=0.4)
     old_inst = plex.instances["SYS02"]
 
@@ -103,9 +100,8 @@ def test_rolling_upgrade_loses_nothing():
     dominate the measurement."""
     from repro.experiments.common import scaled_config
 
-    plex, gen = build_loaded_sysplex(scaled_config(3), mode="open",
-                                     offered_tps_per_system=120,
-                                     router_policy="wlm")
+    plex, gen = build_loaded_sysplex(scaled_config(3), options=RunOptions(
+        mode="open", offered_tps_per_system=120, router_policy="wlm"))
     plex.sim.run(until=0.5)
 
     done = []
@@ -129,8 +125,7 @@ def test_rolling_upgrade_loses_nothing():
 
 
 def test_command_log_records_operator_actions():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=0))
 
     def operate():
         yield from plex.console.vary_offline(plex.nodes[1])

@@ -1,0 +1,160 @@
+"""Tests for the public API surface: repro.run, RunOptions, shims."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import (
+    CpuConfig,
+    DatabaseConfig,
+    RunOptions,
+    RunSpec,
+    SysplexConfig,
+    run,
+    run_oltp,
+)
+from repro.options import OPTION_FIELDS
+from repro.runner import build_loaded_sysplex
+
+
+def small_cfg(n_systems=2, seed=11):
+    return SysplexConfig(
+        n_systems=n_systems,
+        cpu=CpuConfig(n_cpus=1),
+        db=DatabaseConfig(n_pages=20_000, buffer_pages=4_000),
+        seed=seed,
+    )
+
+
+# -------------------------------------------------------------- RunOptions ----
+def test_run_options_defaults_and_replace():
+    opts = RunOptions()
+    assert opts.mode == "closed"
+    assert opts.router_policy == "threshold"
+    assert opts.monitoring and not opts.tracing
+    changed = opts.replace(tracing=True, mode="open")
+    assert changed.tracing and changed.mode == "open"
+    assert not opts.tracing  # frozen: original untouched
+
+
+def test_run_options_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        RunOptions(mode="sideways")
+
+
+def test_run_options_dict_round_trip():
+    opts = RunOptions(mode="open", offered_tps_per_system=42.0,
+                      terminals_per_system=7, tracing=True)
+    again = RunOptions.from_dict(opts.to_dict())
+    assert again == opts
+    assert set(opts.to_dict()) == OPTION_FIELDS
+
+
+# --------------------------------------------------- RunSpec folds options ----
+def test_runspec_round_trips_options():
+    spec = RunSpec(config=small_cfg(), duration=0.2, warmup=0.1,
+                   options=RunOptions(tracing=True, router_policy="wlm"))
+    again = RunSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.options == spec.options
+    assert again.content_hash() == spec.content_hash()
+
+
+def test_runspec_options_affect_content_hash():
+    base = RunSpec(config=small_cfg(), duration=0.2, warmup=0.1)
+    for field in ("tracing", "monitoring"):
+        changed = base.replace(**{field: not getattr(base.options, field)})
+        assert changed.content_hash() != base.content_hash(), field
+    assert (base.replace(router_policy="wlm").content_hash()
+            != base.content_hash())
+
+
+def test_runspec_exposes_option_properties():
+    spec = RunSpec(options=RunOptions(mode="open", terminals_per_system=3))
+    assert spec.mode == "open"
+    assert spec.terminals_per_system == 3
+    assert spec.router_policy == spec.options.router_policy
+
+
+def test_runspec_replace_routes_option_fields():
+    base = RunSpec(config=small_cfg())
+    spec = base.replace(tracing=True, duration=0.5)
+    assert spec.options.tracing and spec.duration == 0.5
+    assert spec.options.router_policy == base.options.router_policy
+
+
+def test_runspec_from_dict_accepts_legacy_flat_options():
+    # schema-v1 dicts carried drive options as flat spec keys
+    d = RunSpec(config=small_cfg()).to_dict()
+    del d["options"]
+    d["tracing"] = True
+    d["mode"] = "open"
+    spec = RunSpec.from_dict(d)
+    assert spec.options.tracing and spec.options.mode == "open"
+
+
+# -------------------------------------------------------------- run facade ----
+def test_run_accepts_config_and_spec_identically():
+    cfg = small_cfg()
+    via_cfg = run(cfg, duration=0.2, warmup=0.1)
+    via_spec = run(RunSpec(config=cfg, duration=0.2, warmup=0.1))
+    assert via_cfg.completed == via_spec.completed
+    assert via_cfg.throughput == via_spec.throughput
+
+
+def test_run_applies_options_and_overrides_to_spec():
+    spec = RunSpec(config=small_cfg(), duration=0.2, warmup=0.1)
+    traced = run(spec, options=RunOptions(tracing=True))
+    assert any(k.startswith("trace.") for k in traced.extras)
+    plain = run(spec, tracing=False)
+    assert not any(k.startswith("trace.") for k in plain.extras)
+    assert traced.completed == plain.completed
+
+
+def test_run_rejects_other_types():
+    with pytest.raises(TypeError):
+        run({"n_systems": 2})
+
+
+def test_public_surface_is_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+# ------------------------------------------------------- deprecation shims ----
+def test_run_oltp_loose_kwargs_warn_and_match():
+    cfg = small_cfg()
+    current = run_oltp(cfg, duration=0.2, warmup=0.1,
+                       options=RunOptions(router_policy="wlm"))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        legacy = run_oltp(cfg, duration=0.2, warmup=0.1, router_policy="wlm")
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "router_policy" in str(deprecations[0].message)
+    assert legacy.completed == current.completed
+    assert legacy.throughput == current.throughput
+    assert legacy.response_mean == current.response_mean
+
+
+def test_build_loaded_sysplex_loose_kwargs_warn():
+    with pytest.deprecated_call():
+        plex, gen = build_loaded_sysplex(small_cfg(), mode="closed",
+                                         terminals_per_system=2)
+    plex.sim.run(until=0.1)
+    assert plex.metrics.counter("txn.completed").count >= 0
+
+
+def test_loose_kwargs_layer_on_top_of_options():
+    with pytest.deprecated_call():
+        plex, _gen = build_loaded_sysplex(
+            small_cfg(), options=RunOptions(router_policy="wlm"),
+            terminals_per_system=2)
+    assert plex.router.policy == "wlm"
+
+
+def test_unknown_loose_kwarg_is_a_type_error():
+    with pytest.raises(TypeError):
+        run_oltp(small_cfg(), durations=0.2)

@@ -1,6 +1,7 @@
 """Tests for the JES-style shared batch queue (multi-access spool)."""
 
 
+from repro import RunOptions
 from repro.cf import ListStructure
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.runner import build_loaded_sysplex
@@ -12,8 +13,7 @@ def make_jes(n=3, initiators=None):
         n_systems=n,
         db=DatabaseConfig(n_pages=6_000, buffer_pages=2_000),
     )
-    plex, gen = build_loaded_sysplex(cfg, mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(cfg, options=RunOptions(terminals_per_system=0))
     spool = JesSpool(n_members=n)
     plex.xes.allocate(ListStructure("JESCKPT", n_headers=spool.n_headers))
     members = []

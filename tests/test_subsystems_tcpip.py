@@ -2,6 +2,7 @@
 dynamic VIPA takeover, DNS round-robin baseline)."""
 
 
+from repro import RunOptions
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.runner import build_loaded_sysplex
 from repro.simkernel import Tally
@@ -19,8 +20,7 @@ def make_web(n=3, scheme="sd"):
         n_systems=n,
         db=DatabaseConfig(n_pages=6_000, buffer_pages=2_000),
     )
-    plex, gen = build_loaded_sysplex(cfg, mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(cfg, options=RunOptions(terminals_per_system=0))
     web_cfg = WebConfig()
     stacks = [
         TcpStack(plex.sim, inst.node, plex.farm, web_cfg,

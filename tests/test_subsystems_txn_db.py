@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import RunOptions
 from repro.cf import LockMode
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.runner import build_loaded_sysplex
@@ -18,8 +19,7 @@ def small_cfg(n_systems=2, **kw):
 
 
 def make_plex(n=2, **kw):
-    plex, gen = build_loaded_sysplex(small_cfg(n, **kw), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(n, **kw), options=RunOptions(terminals_per_system=0))
     return plex
 
 
@@ -124,9 +124,8 @@ def test_peer_sees_committed_version():
 
 # ---------------------------------------------------------------- router ----
 def test_local_policy_routes_home():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0,
-                                     router_policy="local")
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(
+        terminals_per_system=0, router_policy="local"))
     plex.router.route(txn(1, [1], [2], home=1))
     plex.sim.run(until=1)
     assert plex.instances["SYS01"].tm.completed == 1
@@ -135,9 +134,8 @@ def test_local_policy_routes_home():
 
 
 def test_dead_home_rerouted():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0,
-                                     router_policy="local")
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(
+        terminals_per_system=0, router_policy="local"))
     plex.nodes[1].fail()
     plex.router.route(txn(1, [1], [2], home=1))
     plex.sim.run(until=1)
@@ -145,9 +143,8 @@ def test_dead_home_rerouted():
 
 
 def test_shipped_work_counted_and_charged():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0,
-                                     router_policy="wlm")
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(
+        terminals_per_system=0, router_policy="wlm"))
     # make home look saturated so WLM steers away
     plex.wlm._systems["SYS00"].util = 0.99
     plex.wlm._systems["SYS01"].util = 0.01
@@ -160,14 +157,13 @@ def test_shipped_work_counted_and_charged():
 
 def test_router_rejects_unknown_policy():
     with pytest.raises(ValueError):
-        build_loaded_sysplex(small_cfg(2), router_policy="chaos",
-                             terminals_per_system=0)
+        build_loaded_sysplex(small_cfg(2), options=RunOptions(
+            router_policy="chaos", terminals_per_system=0))
 
 
 # ------------------------------------------------------- list-queue router ----
 def test_list_queue_router_distributes_from_one_entry_point():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=0))
     connections = {
         name: inst.xes_list for name, inst in plex.instances.items()
     }
@@ -184,8 +180,7 @@ def test_list_queue_router_distributes_from_one_entry_point():
 
 
 def test_list_queue_survives_server_death():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=0))
     connections = {
         name: inst.xes_list for name, inst in plex.instances.items()
     }

@@ -4,6 +4,7 @@ import pytest
 
 from repro import (
     CpuConfig,
+    RunOptions,
     DatabaseConfig,
     Sysplex,
     SysplexConfig,
@@ -56,7 +57,7 @@ def test_config_bounds():
 
 def test_oltp_run_completes_transactions():
     r = run_oltp(small_cfg(2), duration=0.3, warmup=0.1,
-                 terminals_per_system=5)
+                 options=RunOptions(terminals_per_system=5))
     assert r.completed > 20
     assert r.throughput > 0
     assert 0 < r.response_mean < 1.0
@@ -93,22 +94,20 @@ def test_data_sharing_costs_cpu_but_not_half():
 
 
 def test_open_loop_mode():
-    r = run_oltp(small_cfg(2), duration=0.4, warmup=0.2, mode="open",
-                 offered_tps_per_system=50)
+    r = run_oltp(small_cfg(2), duration=0.4, warmup=0.2, options=RunOptions(mode="open", offered_tps_per_system=50))
     assert r.throughput == pytest.approx(100, rel=0.35)
 
 
 def test_bad_mode_rejected():
     with pytest.raises(ValueError):
-        run_oltp(small_cfg(2), mode="sideways")
+        run_oltp(small_cfg(2), options=RunOptions(mode="sideways"))
 
 
 def test_failover_end_to_end():
     """Kill a system mid-run: detection, fencing, ARM restart, peer
     recovery, and continued service on the survivors."""
     cfg = small_cfg(3)
-    plex, gen = build_loaded_sysplex(cfg, mode="closed",
-                                     terminals_per_system=5)
+    plex, gen = build_loaded_sysplex(cfg, options=RunOptions(terminals_per_system=5))
     victim = plex.nodes[1]
     plex.sim.call_at(0.5, victim.fail)
     plex.sim.run(until=6.0)
@@ -130,8 +129,7 @@ def test_failover_end_to_end():
 
 def test_throughput_recovers_after_failure():
     cfg = small_cfg(3)
-    plex, gen = build_loaded_sysplex(cfg, mode="closed",
-                                     terminals_per_system=5)
+    plex, gen = build_loaded_sysplex(cfg, options=RunOptions(terminals_per_system=5))
     plex.sim.run(until=0.5)
     c_before = plex.metrics.counter("txn.completed").count
     plex.nodes[2].fail()
@@ -149,8 +147,7 @@ def test_throughput_recovers_after_failure():
 
 def test_castout_ownership_moves_on_failure():
     cfg = small_cfg(3)
-    plex, gen = build_loaded_sysplex(cfg, mode="closed",
-                                     terminals_per_system=3)
+    plex, gen = build_loaded_sysplex(cfg, options=RunOptions(terminals_per_system=3))
     assert plex.instances["SYS00"].castout is not None
     plex.sim.call_at(0.3, plex.nodes[0].fail)  # after heartbeats exist
     plex.sim.run(until=4.0)
@@ -163,9 +160,8 @@ def test_add_system_non_disruptive():
     """§2.4: a new system joins, work continues, the newcomer attracts
     load via WLM."""
     cfg = small_cfg(2)
-    plex, gen = build_loaded_sysplex(cfg, mode="open",
-                                     offered_tps_per_system=120,
-                                     router_policy="wlm")
+    plex, gen = build_loaded_sysplex(cfg, options=RunOptions(
+        mode="open", offered_tps_per_system=120, router_policy="wlm"))
     plex.sim.run(until=0.5)
     inst = plex.add_system()
     # the generator keeps producing at the same offered rate; the router

@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro import RunOptions
 from repro.config import CpuConfig, DatabaseConfig, SysplexConfig
 from repro.runner import run_oltp
 from repro.simkernel import Simulator
@@ -111,7 +112,7 @@ def test_process_death_closes_dangling_spans():
 
 
 def test_disabled_tracing_creates_no_tracer_and_no_watchers():
-    plex = Sysplex(small_cfg(), tracing=False)
+    plex = Sysplex(small_cfg())
     assert plex.tracer is None
     assert plex.sim._process_watchers == []
     # every instrumented component got trace=None
@@ -151,7 +152,7 @@ def test_enabled_tracing_records_spans_for_every_stage():
 
 # ----------------------------------------------------------- attribution ----
 def test_attribution_sums_to_mean_response_time():
-    result = run_oltp(small_cfg(), duration=0.5, warmup=0.2, tracing=True)
+    result = run_oltp(small_cfg(), duration=0.5, warmup=0.2, options=RunOptions(tracing=True))
     ex = result.extras
     assert ex["trace.txns"] > 50
     pct_sum = sum(ex[f"trace.{c}_pct"] for c in CATEGORIES)
@@ -164,8 +165,8 @@ def test_attribution_sums_to_mean_response_time():
 
 def test_tracing_does_not_change_simulation_results():
     cfg = small_cfg(seed=23)
-    off = run_oltp(cfg, duration=0.4, warmup=0.2, tracing=False)
-    on = run_oltp(small_cfg(seed=23), duration=0.4, warmup=0.2, tracing=True)
+    off = run_oltp(cfg, duration=0.4, warmup=0.2)
+    on = run_oltp(small_cfg(seed=23), duration=0.4, warmup=0.2, options=RunOptions(tracing=True))
     assert on.completed == off.completed
     assert on.response_mean == pytest.approx(off.response_mean, abs=1e-12)
     assert on.throughput == pytest.approx(off.throughput, abs=1e-9)
@@ -183,9 +184,9 @@ def test_attribution_empty_window():
 def test_attribution_delta_and_formatting():
     base = run_oltp(
         small_cfg(1, data_sharing=False), duration=0.4, warmup=0.2,
-        tracing=True,
+        options=RunOptions(tracing=True),
     )
-    two = run_oltp(small_cfg(2), duration=0.4, warmup=0.2, tracing=True)
+    two = run_oltp(small_cfg(2), duration=0.4, warmup=0.2, options=RunOptions(tracing=True))
     delta = attribution_delta(base.extras, two.extras)
     assert set(delta) == set(CATEGORIES) | {"total"}
     assert delta["total"] == pytest.approx(
@@ -203,7 +204,7 @@ def test_attribution_delta_and_formatting():
 
 
 def test_attribution_extras_keys_are_floats():
-    result = run_oltp(small_cfg(), duration=0.3, warmup=0.2, tracing=True)
+    result = run_oltp(small_cfg(), duration=0.3, warmup=0.2, options=RunOptions(tracing=True))
     for key, value in result.extras.items():
         if key.startswith("trace."):
             assert isinstance(value, float), key

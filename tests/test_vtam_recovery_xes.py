@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import RunOptions
 from repro.cf import CouplingFacility, LockMode, LockStructure
 from repro.config import DatabaseConfig, SysplexConfig
 from repro.mvs import XesServices
@@ -19,8 +20,7 @@ def small_cfg(n_systems=3, n_cfs=1):
 
 # ----------------------------------------------------------------- VTAM ----
 def make_gr(n=3):
-    plex, gen = build_loaded_sysplex(small_cfg(n), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(n), options=RunOptions(terminals_per_system=0))
     connections = {
         name: inst.xes_list for name, inst in plex.instances.items()
     }
@@ -106,8 +106,7 @@ def test_logon_requires_live_system():
 
 # -------------------------------------------------------- peer recovery ----
 def test_peer_recovery_releases_retained_locks():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=0))
     failed = plex.instances["SYS01"]
     peer = plex.instances["SYS00"]
     done = []
@@ -132,8 +131,7 @@ def test_peer_recovery_releases_retained_locks():
 
 
 def test_peer_recovery_takes_real_time():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=0))
     failed = plex.instances["SYS01"]
     peer = plex.instances["SYS00"]
     times = []
@@ -223,8 +221,7 @@ def test_xes_structure_rebuild_into_surviving_cf():
 
 
 def test_xes_connect_unknown_structure():
-    plex, gen = build_loaded_sysplex(small_cfg(2), mode="closed",
-                                     terminals_per_system=0)
+    plex, gen = build_loaded_sysplex(small_cfg(2), options=RunOptions(terminals_per_system=0))
     with pytest.raises(KeyError):
         plex.xes.connect(plex.nodes[0], "NOSUCH")
 

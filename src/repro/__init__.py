@@ -29,6 +29,7 @@ or, declaratively (cache- and sweep-friendly)::
 
 from typing import Optional, Union
 
+from .chaos import ChaosConfig, ChaosEngine, FaultClassConfig
 from .config import (
     ArmConfig,
     CfConfig,
@@ -43,6 +44,7 @@ from .config import (
     quick_sysplex,
 )
 from .executor import ResultCache, execute
+from .invariants import InvariantChecker, Violation, check_reconvergence
 from .metrics import RunResult, scalability_table
 from .options import RunOptions
 from .runner import build_loaded_sysplex, run_oltp, run_spec
@@ -56,7 +58,7 @@ from .trace_analysis import (
     format_attribution,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def run(spec_or_config: Union[RunSpec, SysplexConfig],
@@ -98,10 +100,14 @@ __all__ = [
     "ArmConfig",
     "Attribution",
     "CfConfig",
+    "ChaosConfig",
+    "ChaosEngine",
     "CpuConfig",
     "DasdConfig",
     "DatabaseConfig",
+    "FaultClassConfig",
     "Instance",
+    "InvariantChecker",
     "LinkConfig",
     "OltpConfig",
     "ResultCache",
@@ -112,11 +118,13 @@ __all__ = [
     "Sysplex",
     "SysplexConfig",
     "Tracer",
+    "Violation",
     "WlmConfig",
     "XcfConfig",
     "attribute",
     "attribution_delta",
     "build_loaded_sysplex",
+    "check_reconvergence",
     "execute",
     "format_attribution",
     "quick_sysplex",

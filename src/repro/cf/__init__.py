@@ -2,7 +2,7 @@
 command-execution cost machinery (paper §3.3)."""
 
 from .cache import CacheFullError, CacheStructure, LocalVector
-from .commands import CfPort
+from .commands import CfPort, CfRequestTimeout
 from .facility import CfFailedError, CouplingFacility, StructureExistsError
 from .list import ListEntry, ListStructure, LockHeldError
 from .lock import GrantResult, LockMode, LockStructure
@@ -13,6 +13,7 @@ __all__ = [
     "CacheStructure",
     "CfFailedError",
     "CfPort",
+    "CfRequestTimeout",
     "Connector",
     "CouplingFacility",
     "GrantResult",

@@ -15,33 +15,58 @@ executes structure operations with the paper's cost semantics:
 
 The actual structure mutation runs at the CF at command-execution time,
 passed in as a plain closure.
+
+**Request-level robustness** (chaos runs): with
+``CfConfig.request_timeout`` set, each link round trip runs under a
+timeout; a trip that times out or dies with an interface control check
+(its link failed mid-flight) is redriven after seeded exponential
+backoff over a surviving link, up to ``request_retries`` times.  The
+structure mutation is executed at most once across redrives (the
+response, not the command, is what was lost).  With the default
+``request_timeout=None`` the single-attempt fast path below runs
+unchanged — no extra events, no behavioural drift for non-chaos runs.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
 
 from ..config import CfConfig
-from ..hardware.links import LinkSet
+from ..hardware.links import LinkDownError, LinkSet
 from ..hardware.system import SystemNode, SystemDown
-from .facility import CouplingFacility
+from ..simkernel import Interrupt
+from .facility import CfFailedError, CouplingFacility
 
-__all__ = ["CfPort"]
+__all__ = ["CfPort", "CfRequestTimeout"]
+
+
+class CfRequestTimeout(Exception):
+    """A CF request exhausted its timeout/retry budget without completing."""
 
 
 class CfPort:
     """One system's command path to one Coupling Facility."""
 
     def __init__(self, node: SystemNode, cf: CouplingFacility,
-                 links: LinkSet, config: CfConfig, trace=None):
+                 links: LinkSet, config: CfConfig, trace=None,
+                 retry_rng: Optional[np.random.Generator] = None):
         self.node = node
         self.cf = cf
         self.links = links
         self.config = config
         self.sim = node.sim
         self.trace = trace  # Tracer or None (zero-cost when disabled)
+        #: seeded generator for retry-backoff jitter (only drawn from on
+        #: redrives, so common-path runs consume no extra randomness)
+        self.retry_rng = retry_rng
         self.sync_ops = 0
         self.async_ops = 0
+        #: robustness counters (only move when request_timeout is set)
+        self.timeouts = 0
+        self.iccs = 0
+        self.retries = 0
 
     # -- internals ----------------------------------------------------------
     def _service(self, fn: Callable[[], Any], data: bool, signal_wait: bool,
@@ -50,10 +75,103 @@ class CfPort:
             self.config.data_cmd_service if data else 0.0
         )
         yield from self.cf.execute(svc)
-        box.append(fn())
+        if not box:
+            # redrives re-pay the CF service but execute the structure
+            # mutation exactly once (the first attempt may have executed
+            # at the CF with only the response lost)
+            box.append(fn())
         if signal_wait:
             # CF responds only after observing signal completion (§3.3.2)
             yield self.sim.timeout(self.config.signal_latency)
+
+    def _trip_once(self, link, out_bytes: int, in_bytes: int,
+                   service: Generator) -> Generator:
+        """One guarded link round trip for the robust path.
+
+        Never fails as a process: outcomes come back as ``(tag, error)``
+        values so the timeout race in :meth:`_robust_trip` cannot leave
+        an undefused failed event behind.
+        """
+        try:
+            yield from link.occupy(out_bytes, in_bytes, service)
+        except Interrupt:
+            return ("interrupted", None)
+        except Exception as exc:
+            return ("error", exc)
+        return ("ok", None)
+
+    def _robust_trip(self, fn: Callable[[], Any], out_bytes: int,
+                     in_bytes: int, data: bool, signal_wait: bool,
+                     box: list, service_factor: float) -> Generator:
+        """Timed, redriven link round trip (chaos-hardened path)."""
+        cfg = self.config
+        last_error: Exception = LinkDownError(self.links.name)
+        for attempt in range(cfg.request_retries + 1):
+            if not self.node.alive:
+                raise SystemDown(self.node.name)
+            if self.cf.failed:
+                raise CfFailedError(self.cf.name)
+            try:
+                link = self.links.pick()
+            except LinkDownError as exc:
+                last_error = exc
+            else:
+                trip = self.sim.process(
+                    self._trip_once(
+                        link, out_bytes, in_bytes,
+                        self._service(fn, data, signal_wait, box,
+                                      service_factor),
+                    ),
+                    name="cf-trip",
+                )
+                timer = self.sim.timeout(cfg.request_timeout)
+                yield self.sim.any_of([trip, timer])
+                if trip.triggered:
+                    tag, err = trip.value
+                    if tag == "ok":
+                        if attempt:
+                            self.retries += attempt
+                        return
+                    # classify the in-flight failure
+                    if isinstance(err, (CfFailedError, SystemDown)):
+                        raise err
+                    if isinstance(err, LinkDownError):
+                        self.iccs += 1
+                        last_error = err
+                    elif err is not None:
+                        # structure-level errors (e.g. StructureFailedError)
+                        # are real command outcomes, not link trouble
+                        raise err
+                    else:  # pragma: no cover - interrupted without timer
+                        last_error = CfRequestTimeout(self.cf.name)
+                else:
+                    # the timeout beat the response: abandon the trip
+                    trip.interrupt("timeout")
+                    self.timeouts += 1
+                    last_error = CfRequestTimeout(
+                        f"{self.cf.name} via {link.name}"
+                    )
+            if attempt >= cfg.request_retries:
+                break
+            backoff = cfg.retry_backoff * (2 ** attempt)
+            if self.retry_rng is not None:
+                backoff *= float(self.retry_rng.uniform(0.5, 1.5))
+            yield self.sim.timeout(backoff)
+        raise last_error
+
+    def _trip(self, fn: Callable[[], Any], out_bytes: int, in_bytes: int,
+              data: bool, signal_wait: bool, box: list,
+              service_factor: float) -> Generator:
+        """The link round trip: plain fast path, or robust when enabled."""
+        if self.config.request_timeout is None:
+            link = self.links.pick()
+            yield from link.occupy(
+                out_bytes, in_bytes,
+                self._service(fn, data, signal_wait, box, service_factor),
+            )
+        else:
+            yield from self._robust_trip(fn, out_bytes, in_bytes, data,
+                                         signal_wait, box, service_factor)
 
     # -- synchronous --------------------------------------------------------
     def sync(self, fn: Callable[[], Any], out_bytes: int = 64,
@@ -62,7 +180,8 @@ class CfPort:
         """Process step: execute ``fn`` at the CF CPU-synchronously.
 
         Returns ``fn()``'s result.  The issuing engine is held (spinning)
-        for the entire round trip.
+        for the entire round trip — including any redrives on the robust
+        path, as a spinning requester would.
         """
         if not self.node.alive:
             raise SystemDown(self.node.name)
@@ -78,11 +197,8 @@ class CfPort:
             yield self.sim.timeout(
                 self.config.sync_issue_cpu * cpu.config.inflation()
             )
-            link = self.links.pick()
-            yield from link.occupy(
-                out_bytes, in_bytes,
-                self._service(fn, data, signal_wait, box, service_factor),
-            )
+            yield from self._trip(fn, out_bytes, in_bytes, data,
+                                  signal_wait, box, service_factor)
             cpu.busy_seconds += self.sim.now - start
         finally:
             req.cancel()
@@ -109,11 +225,8 @@ class CfPort:
         box: list = []
         try:
             yield from cpu.consume(self.config.sync_issue_cpu)
-            link = self.links.pick()
-            yield from link.occupy(
-                out_bytes, in_bytes,
-                self._service(fn, data, signal_wait, box, service_factor),
-            )
+            yield from self._trip(fn, out_bytes, in_bytes, data,
+                                  signal_wait, box, service_factor)
             yield from cpu.consume(self.config.async_extra_cpu)
         finally:
             if tr is not None:

@@ -115,5 +115,19 @@ class CouplingFacility:
         for hook in list(self._failure_hooks):
             hook(self)
 
+    def repair(self) -> None:
+        """The CF returns to service after repair.
+
+        CF storage is volatile across a failure: the facility comes back
+        *empty* (any structures it held were lost at :meth:`fail` and
+        rebuilt elsewhere, or remain lost).  It immediately becomes a
+        valid allocation/rebuild target again.
+        """
+        if not self.failed:
+            return
+        for name in list(self.structures):
+            self.deallocate(name)
+        self.failed = False
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<CouplingFacility {self.name} {'FAILED' if self.failed else 'up'}>"

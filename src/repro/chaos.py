@@ -1,0 +1,241 @@
+"""Chaos engine: seeded stochastic fault injection for sysplex soak runs.
+
+Where :class:`~repro.hardware.failures.FailureInjector` runs *scripted*
+outages (one experiment, one scenario), the :class:`ChaosEngine` layers
+sampled fault *processes* over a whole run: each component class —
+systems, coupling facilities, individual coupling links, DASD devices —
+alternates exponentially-distributed up intervals (mean ``mtbf``) and
+down intervals (mean ``mttr``), all drawn from the sysplex's named
+random streams, so the entire fault schedule is a deterministic function
+of ``(seed, ChaosConfig, topology)``.
+
+The schedule is sampled **eagerly at construction** and exposed as plain
+``[time, label]`` rows (:meth:`schedule_rows`), which experiment payloads
+serialize verbatim — a cached chaos result carries the exact faults it
+ran under, and re-running the spec reproduces them byte-identically.
+
+Fire-time **guardrails** keep runs analyzable rather than trivially
+dead: a system crash that would drop live systems below
+``min_live_systems`` (or a CF failure below ``min_live_cfs``) is
+suppressed and logged as ``chaos-skip:<label>`` on the same injector
+timeline.  The guard decision depends only on simulated state, so it is
+as deterministic as the schedule itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["FaultClassConfig", "ChaosConfig", "ChaosEngine",
+           "summarize_schedule"]
+
+
+@dataclass(frozen=True)
+class FaultClassConfig:
+    """Fault process parameters for one component class."""
+
+    #: Mean time between failures (exponential up-interval), seconds.
+    mtbf: float
+    #: Mean time to repair (exponential down-interval), seconds.
+    mttr: float
+    #: Cap on fail/repair cycles sampled per component.
+    max_faults: int = 4
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultClassConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What the chaos engine attacks, how hard, and within what window.
+
+    A component class with ``None`` config is left alone.  Faults are
+    sampled in ``[start, horizon)``; repairs always complete even if they
+    land past the horizon (no component is left broken by the sampling
+    cutoff itself).
+    """
+
+    start: float = 1.0
+    horizon: float = 10.0
+    systems: Optional[FaultClassConfig] = None
+    cfs: Optional[FaultClassConfig] = None
+    links: Optional[FaultClassConfig] = None
+    dasd: Optional[FaultClassConfig] = None
+    #: Guardrails: never take a fault that would leave fewer live
+    #: systems / CFs than these floors (the suppressed event is logged).
+    min_live_systems: int = 1
+    min_live_cfs: int = 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (nested class configs as dicts or ``None``)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosConfig":
+        kw = dict(data)
+        for name in ("systems", "cfs", "links", "dasd"):
+            if isinstance(kw.get(name), dict):
+                kw[name] = FaultClassConfig(**kw[name])
+        return cls(**kw)
+
+
+@dataclass
+class _Planned:
+    """One schedulable chaos event."""
+
+    time: float
+    label: str
+    guard: Callable[[], bool]
+    action: Callable[[], None]
+    fired: Optional[bool] = field(default=None)  # None until fire time
+
+
+class ChaosEngine:
+    """Samples a fault schedule for one sysplex and arms it.
+
+    Construction samples the complete schedule (deterministically, from
+    ``plex.streams``); :meth:`arm` schedules it on the simulator through
+    the sysplex's :class:`~repro.hardware.failures.FailureInjector` log,
+    so chaos events and scripted events share one timeline.
+    """
+
+    def __init__(self, plex, config: ChaosConfig):
+        self.plex = plex
+        self.config = config
+        self.planned: List[_Planned] = []
+        self._armed = False
+        self._sample()
+
+    # -- schedule introspection -------------------------------------------
+    def schedule_rows(self) -> List[list]:
+        """The sampled schedule as JSON-ready ``[time, label]`` rows."""
+        return [[p.time, p.label] for p in self.planned]
+
+    def outcome_rows(self) -> List[list]:
+        """Post-run: ``[time, label, outcome]`` (fired/skipped/pending)."""
+        state = {None: "pending", True: "fired", False: "skipped"}
+        return [[p.time, p.label, state[p.fired]] for p in self.planned]
+
+    # -- sampling ----------------------------------------------------------
+    def _sample(self) -> None:
+        cfg = self.config
+        plex = self.plex
+        if cfg.systems is not None:
+            rng = plex.streams.stream("chaos.systems")
+            for node in plex.nodes:
+                self._sample_component(
+                    rng, cfg.systems,
+                    fail_label=f"crash:{node.name}",
+                    repair_label=f"restart:{node.name}",
+                    fail_guard=lambda n=node: n.alive and self._live_systems()
+                    > cfg.min_live_systems,
+                    fail_action=lambda n=node: n.fail(),
+                    repair_guard=lambda n=node: not n.alive,
+                    repair_action=lambda n=node: n.restart(),
+                )
+        if cfg.cfs is not None:
+            rng = plex.streams.stream("chaos.cfs")
+            for cf in plex.cfs:
+                self._sample_component(
+                    rng, cfg.cfs,
+                    fail_label=f"cf-fail:{cf.name}",
+                    repair_label=f"cf-repair:{cf.name}",
+                    fail_guard=lambda c=cf: not c.failed and self._live_cfs()
+                    > cfg.min_live_cfs,
+                    fail_action=lambda c=cf: c.fail(),
+                    repair_guard=lambda c=cf: c.failed,
+                    repair_action=lambda c=cf: c.repair(),
+                )
+        if cfg.links is not None:
+            rng = plex.streams.stream("chaos.links")
+            for node in plex.nodes:
+                for cf_name in sorted(node.cf_links):
+                    linkset = node.cf_links[cf_name]
+                    for i, link in enumerate(linkset.links):
+                        self._sample_component(
+                            rng, cfg.links,
+                            fail_label=f"link-fail:{linkset.name}.{i}",
+                            repair_label=f"link-repair:{linkset.name}.{i}",
+                            fail_guard=lambda lk=link: lk.operational,
+                            fail_action=lambda ls=linkset, j=i:
+                            ls.fail_link(j),
+                            repair_guard=lambda lk=link: not lk.operational,
+                            repair_action=lambda ls=linkset, j=i:
+                            ls.repair_link(j),
+                        )
+        if cfg.dasd is not None:
+            rng = plex.streams.stream("chaos.dasd")
+            for dev in plex.farm.devices:
+                self._sample_component(
+                    rng, cfg.dasd,
+                    fail_label=f"path-fail:{dev.name}",
+                    repair_label=f"path-repair:{dev.name}",
+                    # DasdDevice itself never drops the last path
+                    fail_guard=lambda d=dev: d.available_paths > 1,
+                    fail_action=lambda d=dev: d.fail_path(),
+                    repair_guard=lambda d=dev:
+                    d.available_paths < d.config.paths,
+                    repair_action=lambda d=dev: d.repair_path(),
+                )
+        self.planned.sort(key=lambda p: (p.time, p.label))
+
+    def _sample_component(self, rng, fc: FaultClassConfig, *,
+                          fail_label: str, repair_label: str,
+                          fail_guard, fail_action,
+                          repair_guard, repair_action) -> None:
+        """Alternating-renewal sampling for one component."""
+        t = self.config.start
+        for _cycle in range(fc.max_faults):
+            t += float(rng.exponential(fc.mtbf))
+            if t >= self.config.horizon:
+                return
+            down = float(rng.exponential(fc.mttr))
+            self.planned.append(
+                _Planned(t, fail_label, fail_guard, fail_action)
+            )
+            self.planned.append(
+                _Planned(t + down, repair_label, repair_guard, repair_action)
+            )
+            t += down
+
+    # -- arming ------------------------------------------------------------
+    def arm(self) -> int:
+        """Schedule every sampled event; returns the number armed."""
+        if self._armed:
+            raise RuntimeError("chaos schedule already armed")
+        self._armed = True
+        for p in self.planned:
+            self.plex.sim.call_at(p.time, lambda p=p: self._fire(p))
+        return len(self.planned)
+
+    def _fire(self, p: _Planned) -> None:
+        log = self.plex.injector.log
+        if p.guard():
+            p.fired = True
+            log.append((self.plex.sim.now, p.label))
+            p.action()
+        else:
+            p.fired = False
+            log.append((self.plex.sim.now, f"chaos-skip:{p.label}"))
+
+    # -- guard helpers -----------------------------------------------------
+    def _live_systems(self) -> int:
+        return sum(1 for n in self.plex.nodes if n.alive)
+
+    def _live_cfs(self) -> int:
+        return sum(1 for cf in self.plex.cfs if not cf.failed)
+
+
+def summarize_schedule(rows: List[list]) -> dict:
+    """Aggregate a schedule (or outcome) row list by component class."""
+    by_kind: dict = {}
+    for row in rows:
+        label = row[1]
+        kind = label.split(":", 1)[0].replace("chaos-skip", "skip")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    return by_kind

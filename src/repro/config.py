@@ -123,6 +123,26 @@ class CfConfig:
     cache_elements: int = 65536
     #: Directory entries (names trackable) in a cache structure.
     cache_directory_entries: int = 1 << 18
+    #: End-to-end budget for one CF request attempt.  ``None`` (default)
+    #: disables request-level robustness entirely — commands take the
+    #: plain single-attempt path with no extra events, so established
+    #: results stay byte-identical.  Chaos runs enable it.
+    request_timeout: Optional[float] = None
+    #: Redrive attempts after a timeout / interface control check before
+    #: the request fails (only with ``request_timeout`` set).
+    request_retries: int = 3
+    #: Base delay of the exponential backoff between redrives; attempt
+    #: ``k`` waits ``retry_backoff * 2**k`` (jittered when the port has a
+    #: seeded RNG).
+    retry_backoff: float = 20 * MICRO
+
+    def __post_init__(self) -> None:
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
+        if self.request_retries < 0:
+            raise ValueError("request_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
 
 
 @dataclass

@@ -19,6 +19,7 @@ from . import (
     exp_availability,
     exp_balancing,
     exp_cf_failover,
+    exp_chaos,
     exp_coherency,
     exp_dss,
     exp_generic_resources,
@@ -39,6 +40,7 @@ __all__ = [
     "exp_availability",
     "exp_balancing",
     "exp_cf_failover",
+    "exp_chaos",
     "exp_coherency",
     "exp_dss",
     "exp_generic_resources",

@@ -29,6 +29,7 @@ from . import (
     exp_availability,
     exp_balancing,
     exp_cf_failover,
+    exp_chaos,
     exp_coherency,
     exp_dss,
     exp_generic_resources,
@@ -47,6 +48,7 @@ ALL = (
     exp_balancing,
     exp_availability,
     exp_cf_failover,
+    exp_chaos,
     exp_locktable,
     exp_coherency,
     exp_growth,

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..hardware.failures import FailureInjector
 from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
@@ -69,7 +68,7 @@ def run_unplanned_spec(spec: RunSpec) -> Dict:
         config, options=spec.options.replace(offered_tps_per_system=offered))
     fail_at = 3 * window
     victim = plex.nodes[n_systems - 1]
-    FailureInjector(plex.sim).crash_system(victim, at=fail_at)
+    plex.injector.crash_system(victim, at=fail_at)
 
     counter = plex.metrics.counter("txn.completed")
     failed_counter = plex.metrics.counter("txn.failed")
@@ -107,7 +106,8 @@ def run_unplanned_spec(spec: RunSpec) -> Dict:
         "retained_after": len(plex.lock_space.retained),
         "restarts": len(plex.arm.restart_log),
     }
-    return {"timeline": timeline, "summary": summary}
+    return {"timeline": timeline, "summary": summary,
+            "events": plex.injector.log_events()}
 
 
 def run_availability(n_systems: int = 4,
@@ -137,8 +137,8 @@ def run_rolling_spec(spec: RunSpec) -> Dict:
     n_systems = config.n_systems
     outage = spec.params["outage"]
     plex, gen = build_loaded_sysplex(config, options=spec.options)
-    inj = FailureInjector(plex.sim)
-    inj.rolling_maintenance(plex.nodes, start=1.0, outage=outage, gap=1.5)
+    plex.injector.rolling_maintenance(plex.nodes, start=1.0, outage=outage,
+                                      gap=1.5)
     total = 1.0 + n_systems * (outage + 1.5) + 1.0
     counter = plex.metrics.counter("txn.completed")
     window = 0.5
@@ -165,6 +165,7 @@ def run_rolling_spec(spec: RunSpec) -> Dict:
             "zero_throughput_windows": zero_windows,
             "all_back": all(n.alive for n in plex.nodes),
         },
+        "events": plex.injector.log_events(),
     }
 
 

@@ -1,0 +1,313 @@
+"""EXP-CHAOS — stochastic fault soak with invariant checking.
+
+The availability experiments script *one* outage and inspect the
+timeline.  This experiment instead turns the :class:`~repro.chaos.
+ChaosEngine` loose on a running sysplex: systems crash and re-IPL,
+coupling facilities die and come back empty, individual coupling links
+drop mid-command, DASD paths bounce — all from seeded fault processes,
+overlapping however the draws land.  Request-level robustness
+(``CfConfig.request_timeout``) is enabled so in-flight CF commands
+survive link loss by redriving on surviving links.
+
+Throughout the run an :class:`~repro.invariants.InvariantChecker`
+asserts the §2.5/§3.3 promises — lock safety, commit durability,
+transaction conservation, rebuild termination, retained-lock release —
+and the payload carries its full report plus the sampled fault schedule,
+the fired-event timeline, and windowed throughput.
+
+The **soak harness** sweeps many seeds (the CI ``chaos-soak`` job runs
+``python -m repro.experiments.exp_chaos --seeds 20``) and fails loudly
+if any seed records a violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..chaos import (
+    ChaosConfig,
+    ChaosEngine,
+    FaultClassConfig,
+    summarize_schedule,
+)
+from ..config import MILLI, CfConfig
+from ..invariants import InvariantChecker, check_reconvergence
+from ..options import RunOptions
+from ..runner import build_loaded_sysplex
+from ..runspec import RunSpec
+from .common import print_rows, scaled_config, sweep
+
+__all__ = [
+    "chaos_spec",
+    "soak_specs",
+    "run_chaos",
+    "run_chaos_spec",
+    "run_soak",
+    "main",
+]
+
+CHAOS_RUNNER = "repro.experiments.exp_chaos:run_chaos_spec"
+
+
+def chaos_spec(n_systems: int = 3,
+               seed: int = 1,
+               horizon: float = 6.0,
+               drain: float = 2.0,
+               offered_tps_per_system: float = 120.0,
+               intensity: float = 1.0,
+               window: float = 0.5) -> RunSpec:
+    """Declare one chaos soak run.
+
+    ``intensity`` scales fault frequency (2.0 = twice as many expected
+    faults).  The sysplex gets two CFs (so rebuilds have a target) and
+    request-level robustness enabled; the chaos parameters ride in
+    ``params["chaos"]`` so the content hash covers the exact fault
+    distributions.
+    """
+    from ..config import ArmConfig, XcfConfig
+
+    config = scaled_config(
+        n_systems, seed=seed, n_cfs=2,
+        cf=CfConfig(request_timeout=20 * MILLI, request_retries=4),
+        arm=ArmConfig(restart_time=0.5, log_replay_time=0.3),
+        xcf=XcfConfig(heartbeat_interval=0.25),
+    )
+    k = max(intensity, 1e-9)
+    chaos = ChaosConfig(
+        start=1.0,
+        horizon=horizon,
+        systems=FaultClassConfig(mtbf=6.0 / k, mttr=1.2, max_faults=2),
+        cfs=FaultClassConfig(mtbf=10.0 / k, mttr=1.5, max_faults=1),
+        links=FaultClassConfig(mtbf=30.0 / k, mttr=0.6, max_faults=2),
+        dasd=FaultClassConfig(mtbf=60.0 / k, mttr=0.8, max_faults=1),
+        min_live_systems=1,
+        min_live_cfs=1,
+    )
+    return RunSpec(
+        runner=CHAOS_RUNNER, config=config,
+        options=RunOptions(
+            mode="open", router_policy="wlm",
+            offered_tps_per_system=offered_tps_per_system,
+        ),
+        label=f"chaos-{n_systems}sys-seed{seed}",
+        params={
+            "chaos": chaos.to_dict(),
+            "window": window,
+            "drain": drain,
+            "grace": 3.0,
+            "check_interval": 0.1,
+            "reconverge_fraction": 0.5,
+        },
+    )
+
+
+def run_chaos_spec(spec: RunSpec) -> Dict:
+    """Scenario runner: chaos + invariants over one seeded sysplex."""
+    chaos_cfg = ChaosConfig.from_dict(spec.params["chaos"])
+    window = spec.params["window"]
+    total = chaos_cfg.horizon + spec.params["drain"]
+
+    plex, gen = build_loaded_sysplex(spec.config, options=spec.options)
+    engine = ChaosEngine(plex, chaos_cfg)
+    engine.arm()
+    checker = InvariantChecker(
+        plex, generator=gen, interval=spec.params["check_interval"]
+    )
+
+    counter = plex.metrics.counter("txn.completed")
+    failed_counter = plex.metrics.counter("txn.failed")
+    timeline: List[dict] = []
+    prev = prev_failed = 0
+    k = 0
+    while k * window < total:
+        k += 1
+        plex.sim.run(until=k * window)
+        c, f = counter.count, failed_counter.count
+        timeline.append(
+            {
+                "t": round(k * window, 3),
+                "throughput": (c - prev) / window,
+                "failed": f - prev_failed,
+                "down": ",".join(
+                    n.name for n in plex.nodes if not n.alive) or "-",
+                "cfs_down": ",".join(
+                    cf.name for cf in plex.cfs if cf.failed) or "-",
+            }
+        )
+        prev, prev_failed = c, f
+
+    report = checker.finalize(grace=spec.params["grace"])
+
+    # availability promise: throughput reconverges to the offered load
+    # once the last state-changing fault/repair has settled
+    state_changes = [
+        t for t, label in plex.injector.log
+        if not label.startswith("chaos-skip:")
+    ]
+    offered_total = spec.options.offered_tps_per_system * spec.config.n_systems
+    v = check_reconvergence(
+        timeline, offered_total,
+        last_repair=max(state_changes, default=0.0),
+        fraction=spec.params["reconverge_fraction"],
+        degraded=bool(plex.degraded_events),
+    )
+    if v is not None:
+        report["violations"].append(v)
+        report["ok"] = False
+
+    ports = _live_ports(plex)
+    summary = {
+        "generated": gen.generated,
+        "completed": counter.count,
+        "failed": failed_counter.count,
+        "lost": plex.router.lost,
+        "submitted": plex.metrics.counter("txn.submitted").count,
+        "rebuilds_started": plex.metrics.counter("cf.rebuilds_started").count,
+        "rebuilds_finished": plex.metrics.counter("cf.rebuilds").count,
+        "recoveries": len(plex.recovery.recoveries),
+        "degraded_events": len(plex.degraded_events),
+        "cf_timeouts": sum(p.timeouts for p in ports),
+        "cf_iccs": sum(p.iccs for p in ports),
+        "cf_retries": sum(p.retries for p in ports),
+        "schedule_by_kind": summarize_schedule(engine.schedule_rows()),
+        "ok": report["ok"],
+    }
+    return {
+        "schedule": engine.schedule_rows(),
+        "outcomes": engine.outcome_rows(),
+        "events": plex.injector.log_events(),
+        "degraded": [[t, label] for t, label in plex.degraded_events],
+        "timeline": timeline,
+        "invariants": report,
+        "summary": summary,
+    }
+
+
+def _live_ports(plex) -> List:
+    """Every current CfPort (robustness counters live on the ports)."""
+    ports = []
+    for inst in plex.instances.values():
+        for xes in (inst.xes_lock, inst.xes_cache, inst.xes_list):
+            port = getattr(xes, "port", None)
+            if port is not None:
+                ports.append(port)
+    return ports
+
+
+def run_chaos(n_systems: int = 3, seed: int = 1, **kw) -> Dict:
+    """One chaos run (library entry point)."""
+    return sweep([chaos_spec(n_systems, seed, **kw)])[0]
+
+
+def soak_specs(n_seeds: int = 20, seed0: int = 1, **kw) -> List[RunSpec]:
+    """The soak sweep: one chaos spec per seed."""
+    return [chaos_spec(seed=seed0 + i, **kw) for i in range(n_seeds)]
+
+
+def run_soak(n_seeds: int = 20, seed0: int = 1, **kw) -> Dict:
+    """Run the soak and aggregate the per-seed invariant reports."""
+    specs = soak_specs(n_seeds, seed0, **kw)
+    payloads = sweep(specs)
+    rows = []
+    violations = []
+    for spec, payload in zip(specs, payloads):
+        s = payload["summary"]
+        rows.append(
+            {
+                "label": spec.label,
+                "completed": s["completed"],
+                "failed": s["failed"],
+                "lost": s["lost"],
+                "rebuilds": (
+                    f"{s['rebuilds_finished']}/{s['rebuilds_started']}"
+                ),
+                "iccs": s["cf_iccs"],
+                "retries": s["cf_retries"],
+                "degraded": s["degraded_events"],
+                "ok": s["ok"],
+            }
+        )
+        for v in payload["invariants"]["violations"]:
+            violations.append({"label": spec.label, **v})
+    return {
+        "rows": rows,
+        "violations": violations,
+        "seeds": n_seeds,
+        "ok": not violations,
+    }
+
+
+def main(quick: bool = True, seed: int = 1) -> Dict:
+    n_seeds = 3 if quick else 8
+    out = run_soak(
+        n_seeds=n_seeds, seed0=seed,
+        horizon=4.0 if quick else 8.0,
+        drain=2.0 if quick else 3.0,
+    )
+    print_rows(
+        f"EXP-CHAOS — {n_seeds}-seed fault soak with invariant checking",
+        out["rows"],
+        ["label", "completed", "failed", "lost", "rebuilds", "iccs",
+         "retries", "degraded", "ok"],
+    )
+    if out["violations"]:
+        print(f"\nINVARIANT VIOLATIONS ({len(out['violations'])}):")
+        for v in out["violations"]:
+            print(f"  {v['label']} t={v['time']:.2f} {v['name']}: "
+                  f"{v['detail']}")
+    else:
+        print(f"\nall {n_seeds} seeds clean: no invariant violations")
+    return out
+
+
+def _cli(argv: Optional[List[str]] = None) -> int:
+    """The CI soak entry point: nonzero exit on any violation."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.exp_chaos",
+        description="Seeded chaos soak with sysplex invariant checking.",
+    )
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="number of seeds to soak (default: 20)")
+    parser.add_argument("--seed0", type=int, default=1,
+                        help="first seed (default: 1)")
+    parser.add_argument("--horizon", type=float, default=6.0,
+                        help="chaos window in simulated seconds")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes (0 = one per CPU)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the violation report as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    import os
+
+    from .common import set_execution
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    set_execution(jobs=jobs, progress=True)
+    out = run_soak(n_seeds=args.seeds, seed0=args.seed0,
+                   horizon=args.horizon)
+    print_rows(
+        f"chaos soak — {args.seeds} seeds",
+        out["rows"],
+        ["label", "completed", "failed", "lost", "rebuilds", "iccs",
+         "retries", "degraded", "ok"],
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(out, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.report}")
+    if out["violations"]:
+        print(f"\nFAIL: {len(out['violations'])} invariant violation(s)")
+        for v in out["violations"]:
+            print(f"  {v['label']} t={v['time']:.2f} {v['name']}: "
+                  f"{v['detail']}")
+        return 1
+    print(f"\nOK: all {args.seeds} seeds clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_cli())

@@ -3,7 +3,14 @@
 from .cpu import CpuComplex
 from .dasd import DasdDevice, DasdFarm
 from .failures import FailureInjector
-from .links import CouplingLink, LinkDownError, LinkSet, Message, MessageFabric
+from .links import (
+    CouplingLink,
+    InterfaceControlCheck,
+    LinkDownError,
+    LinkSet,
+    Message,
+    MessageFabric,
+)
 from .system import SystemDown, SystemNode
 from .timer import SysplexTimer, TodClock
 
@@ -13,6 +20,7 @@ __all__ = [
     "DasdDevice",
     "DasdFarm",
     "FailureInjector",
+    "InterfaceControlCheck",
     "LinkDownError",
     "LinkSet",
     "Message",

@@ -3,6 +3,12 @@
 Reproduces the paper's §2.5 scenarios: unplanned system loss (hardware or
 software), planned removal for maintenance ("rolled through the parallel
 sysplex one system at a time"), CF loss, link loss, and DASD path loss.
+
+Every scheduled action is logged as ``(time, label)``; the labels name
+the affected component (``crash:SYS02``, ``link-fail:SYS00-CF01.1``) so
+experiments can report event timelines alongside their measurements.
+:class:`~repro.chaos.ChaosEngine` drives this same injector with sampled
+(rather than scripted) fault times.
 """
 
 from __future__ import annotations
@@ -21,20 +27,33 @@ class FailureInjector:
         self.sim = sim
         self.log: List[tuple] = []
 
-    def _at(self, when: float, label: str, action: Callable[[], None]) -> None:
+    def at(self, when: float, label: str, action: Callable[[], None]) -> None:
+        """Schedule an arbitrary labelled action (logged when it fires).
+
+        The building block under every scenario method below; exposed so
+        chaos schedules and tests can inject guarded or custom actions
+        through the same logged path.
+        """
         def fire():
             self.log.append((self.sim.now, label))
             action()
 
         self.sim.call_at(when, fire)
 
+    # kept as an alias: older call sites used the private spelling
+    _at = at
+
+    def log_events(self) -> List[list]:
+        """The fired-event log as JSON-ready ``[time, label]`` rows."""
+        return [[t, label] for t, label in self.log]
+
     # -- systems ----------------------------------------------------------
     def crash_system(self, node, at: float) -> None:
         """Unplanned outage: the image dies without warning."""
-        self._at(at, f"crash:{node.name}", node.fail)
+        self.at(at, f"crash:{node.name}", node.fail)
 
     def restart_system(self, node, at: float) -> None:
-        self._at(at, f"restart:{node.name}", node.restart)
+        self.at(at, f"restart:{node.name}", node.restart)
 
     def planned_outage(self, node, at: float, duration: float) -> None:
         """Planned removal + later re-introduction (rolling maintenance)."""
@@ -51,17 +70,23 @@ class FailureInjector:
 
     # -- coupling facility / links -------------------------------------------
     def fail_cf(self, cf, at: float) -> None:
-        self._at(at, f"cf-fail:{cf.name}", cf.fail)
+        self.at(at, f"cf-fail:{cf.name}", cf.fail)
+
+    def repair_cf(self, cf, at: float) -> None:
+        """The failed CF returns to service (empty, available for rebuild)."""
+        self.at(at, f"cf-repair:{cf.name}", cf.repair)
 
     def fail_link(self, linkset, at: float, index: int = 0) -> None:
-        self._at(at, "link-fail", lambda: linkset.fail_link(index))
+        self.at(at, f"link-fail:{linkset.name}.{index}",
+                lambda: linkset.fail_link(index))
 
     def repair_link(self, linkset, at: float, index: int = 0) -> None:
-        self._at(at, "link-repair", lambda: linkset.repair_link(index))
+        self.at(at, f"link-repair:{linkset.name}.{index}",
+                lambda: linkset.repair_link(index))
 
     # -- DASD ---------------------------------------------------------------
     def fail_dasd_path(self, device, at: float) -> None:
-        self._at(at, f"path-fail:{device.name}", device.fail_path)
+        self.at(at, f"path-fail:{device.name}", device.fail_path)
 
     def repair_dasd_path(self, device, at: float) -> None:
-        self._at(at, f"path-repair:{device.name}", device.repair_path)
+        self.at(at, f"path-repair:{device.name}", device.repair_path)

@@ -20,7 +20,27 @@ from typing import Dict, Optional, Tuple
 from ..config import LinkConfig, XcfConfig
 from ..simkernel import Resource, Simulator, Store
 
-__all__ = ["CouplingLink", "LinkSet", "Message", "MessageFabric"]
+__all__ = [
+    "CouplingLink",
+    "InterfaceControlCheck",
+    "LinkDownError",
+    "LinkSet",
+    "Message",
+    "MessageFabric",
+]
+
+
+class LinkDownError(Exception):
+    """Raised when a command is attempted over a failed link set."""
+
+
+class InterfaceControlCheck(LinkDownError):
+    """The link carrying an in-flight command failed mid-transfer.
+
+    Models the channel subsystem's interface-control-check condition:
+    the command's fate at the CF is unknown to the requester, which must
+    redrive it (over a surviving link) or surface the error.
+    """
 
 
 class CouplingLink:
@@ -44,6 +64,11 @@ class CouplingLink:
         (queueing for a CF processor); the subchannel stays held for the
         whole round trip, like a real subchannel active with a command.
         Returns the total round-trip duration.
+
+        If the link fails while the command is in flight, the next
+        resume point raises :class:`InterfaceControlCheck` — the command
+        may or may not have executed at the CF, exactly the ambiguity a
+        real interface control check presents.
         """
         if not self.operational:
             raise LinkDownError(self.name)
@@ -51,18 +76,20 @@ class CouplingLink:
         req = self.subchannels.request()
         try:
             yield req
+            if not self.operational:
+                raise InterfaceControlCheck(self.name)
             transfer = self.config.transfer_time(nbytes_out + nbytes_in)
             yield self.sim.timeout(self.config.latency + transfer)
+            if not self.operational:
+                raise InterfaceControlCheck(self.name)
             yield from cf_service
             yield self.sim.timeout(self.config.latency)
+            if not self.operational:
+                raise InterfaceControlCheck(self.name)
             self.ops += 1
         finally:
             req.cancel()
         return self.sim.now - start
-
-
-class LinkDownError(Exception):
-    """Raised when a command is attempted over a failed link set."""
 
 
 class LinkSet:
@@ -71,6 +98,7 @@ class LinkSet:
     def __init__(self, sim: Simulator, config: LinkConfig, name: str = "links"):
         self.sim = sim
         self.config = config
+        self.name = name
         self.links = [
             CouplingLink(sim, config, name=f"{name}.{i}")
             for i in range(config.links_per_system)

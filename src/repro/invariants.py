@@ -1,0 +1,270 @@
+"""Sysplex invariant checking: the properties chaos testing asserts.
+
+A Parallel Sysplex makes hard promises under failure (paper §2.5, §3.3):
+serialization stays correct, committed work survives, recovery always
+terminates, and service returns once the fault is repaired.  The
+:class:`InvariantChecker` watches a running :class:`~repro.sysplex.Sysplex`
+and *records* — never raises — every violation it observes, so a chaos
+run completes and reports all findings instead of dying on the first.
+
+Checked continuously (every ``interval`` simulated seconds):
+
+* **Lock safety** — no resource is ever held EXCL by one owner while any
+  other owner holds it (strict-2PL serialization, §3.3.1).
+* **Commit durability** — a transaction counted complete must have
+  committed through its instance's database manager first.
+* **Transaction conservation** — work never double-counts or vanishes
+  silently: ``completed + failed <= submitted`` and
+  ``submitted + lost <= generated`` at every instant (the slack is
+  in-flight work).
+
+Checked once at :meth:`finalize`:
+
+* **Rebuild termination** — every structure rebuild that started either
+  completed or was explicitly recorded as abandoned (degraded mode);
+  none may hang.
+* **Retained-lock release** — after the grace period following the last
+  fault, no retained locks linger (peer recovery ran), unless the
+  sysplex is legitimately degraded.
+* **Conservation at rest** — after a drain, in-flight slack aside, the
+  books balance.
+
+:func:`check_reconvergence` separately asserts the availability promise:
+throughput after the last repair returns to a fraction of offered load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cf.lock import LockMode
+from .simkernel import Simulator
+
+__all__ = ["InvariantChecker", "Violation", "check_reconvergence"]
+
+
+class Violation:
+    """One recorded invariant violation (plain data, JSON-ready)."""
+
+    __slots__ = ("time", "name", "detail")
+
+    def __init__(self, time: float, name: str, detail: str):
+        self.time = time
+        self.name = name
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "name": self.name, "detail": self.detail}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Violation {self.name}@{self.time:.3f}: {self.detail}>"
+
+
+class InvariantChecker:
+    """Continuously evaluates sysplex invariants during a (chaos) run.
+
+    ``generator`` is the workload's :class:`~repro.workloads.oltp.
+    OltpGenerator` (optional: conservation against ``generated`` is
+    skipped without it).  The checker is a passive observer — it never
+    mutates sysplex state and never raises; read :attr:`violations` or
+    :meth:`report` when the run ends.
+    """
+
+    def __init__(self, plex, generator=None, interval: float = 0.1):
+        self.plex = plex
+        self.generator = generator
+        self.interval = interval
+        self.violations: List[Violation] = []
+        self.scans = 0
+        #: dedup: one report per (name, detail-key) so a persistent bad
+        #: state doesn't flood the report every scan tick
+        self._seen: set = set()
+        self.sim: Simulator = plex.sim
+        self._finalized = False
+        self.sim.process(self._loop(), name="invariant-checker")
+
+    # -- recording ---------------------------------------------------------
+    def _record(self, name: str, detail: str, key: Optional[str] = None) -> None:
+        dedup = (name, key if key is not None else detail)
+        if dedup in self._seen:
+            return
+        self._seen.add(dedup)
+        self.violations.append(Violation(self.sim.now, name, detail))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> dict:
+        """A JSON-ready summary of everything observed."""
+        return {
+            "ok": self.ok,
+            "scans": self.scans,
+            "finalized": self._finalized,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    # -- the periodic scan -------------------------------------------------
+    def _loop(self):
+        while True:
+            yield self.sim.timeout(self.interval)
+            self.scan()
+
+    def scan(self) -> None:
+        """One pass over the continuously-checkable invariants."""
+        self.scans += 1
+        self._check_lock_safety()
+        self._check_commit_durability()
+        self._check_conservation()
+
+    def _check_lock_safety(self) -> None:
+        """Strict-2PL safety: an EXCL holder is alone on its resource."""
+        for name, res in self.plex.lock_space._resources.items():
+            holders = res.holders
+            if len(holders) < 2:
+                continue
+            if any(m == LockMode.EXCL for m in holders.values()):
+                self._record(
+                    "lock-safety",
+                    f"resource {name!r} held {dict(holders)!r}",
+                    key=repr(name),
+                )
+
+    def _check_commit_durability(self) -> None:
+        """A completed transaction committed through its instance first.
+
+        Both counters live and die with the incarnation (a revived system
+        gets a fresh DatabaseManager *and* TransactionManager), so the
+        comparison is valid across arbitrarily many crash/revive cycles.
+        """
+        for sys_name, inst in self.plex.instances.items():
+            if inst.db.commits < inst.tm.completed:
+                self._record(
+                    "commit-durability",
+                    f"{sys_name}: {inst.tm.completed} completed but only "
+                    f"{inst.db.commits} committed",
+                    key=sys_name,
+                )
+
+    def _counts(self) -> Dict[str, int]:
+        m = self.plex.metrics
+        return {
+            "submitted": m.counter("txn.submitted").count,
+            "completed": m.counter("txn.completed").count,
+            "failed": m.counter("txn.failed").count,
+            "lost": self.plex.router.lost,
+            "generated": (
+                self.generator.generated if self.generator is not None else -1
+            ),
+        }
+
+    def _check_conservation(self) -> None:
+        """No transaction is double-counted or silently dropped."""
+        c = self._counts()
+        if c["completed"] + c["failed"] > c["submitted"]:
+            self._record(
+                "conservation",
+                f"completed {c['completed']} + failed {c['failed']} "
+                f"> submitted {c['submitted']}",
+                key="outcomes>submitted",
+            )
+        if c["generated"] >= 0 and c["submitted"] + c["lost"] > c["generated"]:
+            self._record(
+                "conservation",
+                f"submitted {c['submitted']} + lost {c['lost']} "
+                f"> generated {c['generated']}",
+                key="submitted>generated",
+            )
+
+    # -- end-of-run checks -------------------------------------------------
+    def finalize(self, grace: float = 5.0) -> dict:
+        """Final scan plus the end-state invariants; returns the report.
+
+        ``grace`` is how long after the last fault/repair event retained
+        locks are still excused (recovery may legitimately be running).
+        """
+        self._finalized = True
+        self.scan()
+        self._check_rebuild_termination()
+        self._check_retained_cleared(grace)
+        return self.report()
+
+    def _check_rebuild_termination(self) -> None:
+        """Every rebuild that started completed or was abandoned on record."""
+        m = self.plex.metrics
+        started = m.counter("cf.rebuilds_started").count
+        finished = m.counter("cf.rebuilds").count
+        abandoned = sum(
+            1 for _t, label in self.plex.degraded_events
+            if label.startswith("rebuild-abandoned")
+        )
+        if started != finished + abandoned:
+            self._record(
+                "rebuild-termination",
+                f"{started} rebuilds started, {finished} finished, "
+                f"{abandoned} abandoned — {started - finished - abandoned} "
+                f"hung",
+                key="rebuilds",
+            )
+
+    def _check_retained_cleared(self, grace: float) -> None:
+        """Retained locks don't linger once recovery had time to run."""
+        retained = self.plex.lock_space.retained
+        if not retained:
+            return
+        live = [i for i in self.plex.instances.values()
+                if i.node.alive and i.db.alive]
+        if not live:
+            return  # nobody left to run peer recovery: excused
+        last_event = max(
+            (t for t, _label in self.plex.injector.log), default=0.0
+        )
+        if self.sim.now - last_event < grace:
+            return  # the last fault is recent: recovery may still be running
+        owners = sorted({s for s, _m in retained.values()})
+        failed_recoveries = {
+            label.split(":")[1]
+            for _t, label in self.plex.degraded_events
+            if label.startswith("recovery-failed:")
+        }
+        owners = [s for s in owners if s not in failed_recoveries]
+        if not owners:
+            return  # recovery itself failed (recorded degraded outcome)
+        retained = {r: e for r, e in retained.items() if e[0] in set(owners)}
+        self._record(
+            "retained-locks",
+            f"{len(retained)} retained locks of {owners} still present "
+            f"{self.sim.now - last_event:.2f}s after the last fault event",
+            key="stuck",
+        )
+
+
+def check_reconvergence(timeline: List[dict], offered: float,
+                        last_repair: float, fraction: float = 0.5,
+                        settle: float = 3.0,
+                        degraded: bool = False) -> Optional[dict]:
+    """Assert the availability promise: throughput returns after repair.
+
+    ``timeline`` rows are ``{"t": window_end, "throughput": tps}``;
+    windows ending later than ``last_repair + settle`` must average at
+    least ``fraction * offered``.  Returns a violation dict (JSON-ready)
+    or ``None``.  ``degraded=True`` excuses non-reconvergence (e.g. the
+    run ended with no live CF — there is nothing to reconverge *to*).
+    """
+    if degraded:
+        return None
+    tail = [w["throughput"] for w in timeline if w["t"] > last_repair + settle]
+    if not tail:
+        return None  # the run ended before the settle window: inconclusive
+    mean = sum(tail) / len(tail)
+    if mean >= fraction * offered:
+        return None
+    return {
+        "time": timeline[-1]["t"],
+        "name": "reconvergence",
+        "detail": (
+            f"post-repair throughput {mean:.1f} tps < "
+            f"{fraction:.0%} of offered {offered:.1f} tps "
+            f"({len(tail)} windows after t={last_repair + settle:.2f})"
+        ),
+    }

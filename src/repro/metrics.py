@@ -32,6 +32,9 @@ class RunResult:
     cpu_utilization: Dict[str, float] = field(default_factory=dict)
     cf_utilization: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
+    #: failure/repair event timeline from the sysplex's injector, as
+    #: ``[time, label]`` rows (empty for undisturbed runs)
+    events: List[list] = field(default_factory=list)
 
     @property
     def mean_utilization(self) -> float:
@@ -48,8 +51,16 @@ class RunResult:
         return max(vals) - min(vals)
 
     def to_dict(self) -> dict:
-        """A plain-data (JSON-serializable) view; see :meth:`from_dict`."""
-        return asdict(self)
+        """A plain-data (JSON-serializable) view; see :meth:`from_dict`.
+
+        ``events`` is omitted when empty so results from undisturbed
+        runs serialize byte-identically to pre-chaos versions (cache
+        entries and regression baselines stay valid).
+        """
+        d = asdict(self)
+        if not self.events:
+            del d["events"]
+        return d
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunResult":

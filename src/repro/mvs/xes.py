@@ -52,12 +52,20 @@ class XesConnection:
 class XesServices:
     """Sysplex-wide structure registry and connection manager."""
 
-    def __init__(self, sim: Simulator, config: CfConfig, trace=None):
+    def __init__(self, sim: Simulator, config: CfConfig, trace=None,
+                 streams=None):
         self.sim = sim
         self.config = config
         self.trace = trace  # Tracer or None; threaded into every CfPort
+        #: RandomStreams or None; with request-level robustness enabled
+        #: each system's ports share a seeded backoff-jitter stream
+        self.streams = streams
         self.facilities: List[CouplingFacility] = []
         self.rebuilds = 0
+        self.rebuilds_started = 0
+        #: (time, node, structure, error) rows for contributors that died
+        #: mid-rebuild; the rebuild completes from the survivors
+        self.contributor_failures: List[tuple] = []
 
     def add_facility(self, cf: CouplingFacility) -> None:
         self.facilities.append(cf)
@@ -95,7 +103,11 @@ class XesServices:
         links = node.cf_links.get(cf.name)
         if links is None:
             raise RuntimeError(f"{node.name} has no links to {cf.name}")
-        port = CfPort(node, cf, links, self.config, trace=self.trace)
+        retry_rng = None
+        if self.streams is not None and self.config.request_timeout is not None:
+            retry_rng = self.streams.stream(f"cfretry-{node.name}")
+        port = CfPort(node, cf, links, self.config, trace=self.trace,
+                      retry_rng=retry_rng)
         connector = structure.connect(node.name, on_loss)
         return XesConnection(self, node, structure, port, connector)
 
@@ -109,7 +121,17 @@ class XesServices:
         generator repopulates it from that system's local state (e.g. the
         lock manager re-records every lock it holds).  Returns the new
         connections keyed by node.
+
+        A contributor that dies mid-rebuild (its system crashes, its
+        links drop, the target CF fails under it) is recorded in
+        :attr:`contributor_failures` and the rebuild completes from the
+        surviving contributions — a crashing peer must not hang the
+        recovery every other system is waiting on.  Raises
+        ``RuntimeError`` if no live CF exists to rebuild into; callers
+        running inside a process should convert that into a recorded
+        degraded-mode outcome (see ``Sysplex._rebuild_structures``).
         """
+        self.rebuilds_started += 1
         old = None
         for cf in self.facilities:
             st = cf.structure(structure_name)
@@ -133,9 +155,24 @@ class XesServices:
             conn = self.connect(node, structure_name)
             connections[node] = conn
             procs.append(
-                self.sim.process(contribute(conn), name=f"rebuild-{node.name}")
+                self.sim.process(
+                    self._guarded_contribution(node, structure_name,
+                                               contribute(conn)),
+                    name=f"rebuild-{node.name}",
+                )
             )
         if procs:
             yield self.sim.all_of(procs)
         self.rebuilds += 1
         return connections
+
+    def _guarded_contribution(self, node: SystemNode, structure_name: str,
+                              contribution: Generator) -> Generator:
+        """Run one contributor, absorbing its failure into a recorded row."""
+        try:
+            yield from contribution
+        except Exception as exc:
+            self.contributor_failures.append(
+                (self.sim.now, node.name, structure_name,
+                 type(exc).__name__)
+            )

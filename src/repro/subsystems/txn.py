@@ -22,11 +22,13 @@ from typing import Dict, Generator, List, Optional
 
 import numpy as np
 
+from ..cf.commands import CfRequestTimeout
 from ..cf.facility import CfFailedError
 from ..cf.list import ListEntry
 from ..cf.structure import StructureFailedError
 from ..config import OltpConfig, XcfConfig
 from ..hardware.cpu import SystemDown
+from ..hardware.links import LinkDownError
 from ..mvs.wlm import WorkloadManager
 from ..mvs.xes import XesConnection
 from ..simkernel import MetricSet, Resource, Simulator
@@ -68,6 +70,7 @@ class TransactionManager:
         # per-completion bookkeeping is O(1) appends on pre-resolved
         # collectors — no name lookup on the commit path
         self._completed_counter = metrics.counter("txn.completed")
+        self._submitted_counter = metrics.counter("txn.submitted")
         self._response_tally = metrics.tally("txn.response")
         self._node_response_tally = metrics.tally(f"txn.response.{node.name}")
 
@@ -77,6 +80,7 @@ class TransactionManager:
 
     def submit(self, txn) -> None:
         """Accept a transaction for execution (spawns its task)."""
+        self._submitted_counter.add()
         self.sim.process(self._run(txn), name=f"txn-{txn.txn_id}")
 
     def _fail(self, txn) -> None:
@@ -152,6 +156,15 @@ class TransactionManager:
                 self.db.abandon(txn.txn_id)
                 self._fail(txn)
                 return
+            except (LinkDownError, CfRequestTimeout):
+                # the coupling path to the CF is gone (every link down,
+                # or the redrive budget ran out): this transaction fails
+                # and its software holds are dropped so peers proceed —
+                # the structure itself is intact, nothing to rebuild
+                self.db.abandon(txn.txn_id)
+                self.metrics.counter("txn.link_fail").add()
+                self._fail(txn)
+                return
             rt = self.sim.now - txn.arrival
             self.completed += 1
             self._completed_counter.add()
@@ -174,7 +187,7 @@ class SysplexRouter:
     def __init__(self, sim: Simulator, tms: List[TransactionManager],
                  wlm: WorkloadManager, xcf_config: XcfConfig,
                  policy: str = "threshold", threshold: float = 0.85,
-                 trace=None):
+                 trace=None, metrics: Optional[MetricSet] = None):
         if policy not in ("local", "threshold", "wlm"):
             raise ValueError(f"unknown routing policy {policy!r}")
         self.sim = sim
@@ -185,6 +198,17 @@ class SysplexRouter:
         self.threshold = threshold
         self.trace = trace  # Tracer or None (zero-cost when disabled)
         self.shipped = 0
+        #: arrivals dropped before any region accepted them (total outage,
+        #: shipper death): explicit so transaction conservation is checkable
+        self.lost = 0
+        self._lost_counter = (
+            metrics.counter("txn.lost") if metrics is not None else None
+        )
+
+    def _lose(self) -> None:
+        self.lost += 1
+        if self._lost_counter is not None:
+            self._lost_counter.add()
 
     def add_manager(self, tm: TransactionManager) -> None:
         """A new system joined the sysplex (granular growth, §2.4)."""
@@ -197,7 +221,8 @@ class SysplexRouter:
         """Deliver one arriving transaction to a system."""
         alive = self._alive()
         if not alive:
-            return  # total outage: work is lost (counted by the generator)
+            self._lose()  # total outage: the arriving request is lost
+            return
         home: Optional[TransactionManager] = None
         if 0 <= txn.home < len(self.tms) and self.tms[txn.home].available:
             home = self.tms[txn.home]
@@ -233,8 +258,10 @@ class SysplexRouter:
                 alive = self._alive()
                 if alive:
                     alive[0].submit(txn)
+                else:
+                    self._lose()  # everyone died while the request shipped
         except SystemDown:
-            pass  # the shipping system died mid-transfer: request lost
+            self._lose()  # the shipping system died mid-transfer
 
 
 class ListQueueRouter:

@@ -24,6 +24,7 @@ from .cf.list import ListStructure
 from .cf.lock import LockStructure
 from .config import SysplexConfig
 from .hardware.dasd import DasdDevice, DasdFarm
+from .hardware.failures import FailureInjector
 from .hardware.links import LinkSet, MessageFabric
 from .hardware.system import SystemNode
 from .hardware.timer import SysplexTimer
@@ -82,6 +83,14 @@ class Sysplex:
         # observer — when off, no tracer object exists and every
         # instrumentation point reduces to one `is None` test
         self.tracer = Tracer(self.sim) if tracing else None
+        #: the canonical failure injector for this sysplex: experiments
+        #: and the chaos engine schedule outages through it so the event
+        #: timeline lands on the RunResult (zero sim impact when unused)
+        self.injector = FailureInjector(self.sim)
+        #: (time, label) rows for degraded-mode outcomes — recovery paths
+        #: that could not run (e.g. a rebuild with no live CF) but must
+        #: not kill the run; the invariant checker reads these
+        self.degraded_events: List[tuple] = []
 
         # --- hardware -----------------------------------------------------
         self.timer = SysplexTimer(self.sim, sync_interval=1.0)
@@ -97,7 +106,8 @@ class Sysplex:
 
         # --- coupling facilities + structures --------------------------------
         self.cfs: List[CouplingFacility] = []
-        self.xes = XesServices(self.sim, config.cf, trace=self.tracer)
+        self.xes = XesServices(self.sim, config.cf, trace=self.tracer,
+                               streams=self.streams)
         if config.data_sharing and config.n_cfs > 0:
             for i in range(config.n_cfs):
                 cf = CouplingFacility(self.sim, config.cf, name=f"CF{i + 1:02d}")
@@ -140,6 +150,7 @@ class Sysplex:
             config.xcf,
             policy=router_policy,
             trace=self.tracer,
+            metrics=self.metrics,
         )
         for inst in self.instances.values():
             self._register_arm(inst)
@@ -247,7 +258,16 @@ class Sysplex:
         peer = self.instances.get(target.name)
         if peer is None or not peer.db.alive:
             return
-        yield from self.recovery.recover(failed.db, peer.db)
+        try:
+            yield from self.recovery.recover(failed.db, peer.db)
+        except Exception as exc:
+            # the recoverer lost its coupling path (or died) mid-recovery:
+            # retained locks stay protected; recorded so the invariant
+            # checker excuses them instead of the run dying here
+            self._degraded(
+                f"recovery-failed:{failed.node.name}:{type(exc).__name__}"
+            )
+            return
         self.metrics.counter("failures.recovered").add()
 
     def _revive_system(self, node: SystemNode) -> None:
@@ -262,7 +282,14 @@ class Sysplex:
             # failure cleanup first (XCF does not allow two incarnations):
             # retained locks, connector teardown, ARM-driven recovery.
             self._on_partition(node)
-        inst = self._build_instance(node)
+        try:
+            inst = self._build_instance(node)
+        except Exception as exc:
+            # re-IPL failed (e.g. no structure to connect to after a total
+            # coupling outage): the image stays up but its subsystems
+            # cannot join — a degraded-mode outcome, not a dead run
+            self._degraded(f"revive-failed:{node.name}:{type(exc).__name__}")
+            return
         self.instances[node.name] = inst
         if old is not None and old.tm in self.router.tms:
             self.router.tms[self.router.tms.index(old.tm)] = inst.tm
@@ -282,9 +309,33 @@ class Sysplex:
     def _on_cf_failed(self, cf: CouplingFacility) -> None:
         self.metrics.counter("cf.failures").add()
         if not self.xes.live_facilities():
-            return  # total coupling outage: nothing to rebuild into
-        self.sim.process(self._rebuild_structures(),
+            # total coupling outage: nothing to rebuild into.  Recorded
+            # as a degraded-mode outcome rather than silently ignored —
+            # the invariant checker excuses non-reconvergence behind it.
+            self._degraded(f"no-live-cf-after:{cf.name}")
+            return
+        self.metrics.counter("cf.rebuilds_started").add()
+        self.sim.process(self._rebuild_guarded(cf),
                          name=f"rebuild-after-{cf.name}")
+
+    def _degraded(self, label: str) -> None:
+        self.degraded_events.append((self.sim.now, label))
+        self.metrics.counter("degraded.events").add()
+
+    def _rebuild_guarded(self, cf: CouplingFacility):
+        """Run the structure rebuild, converting unrecoverable situations
+        (every CF died mid-rebuild, connectors gone) into recorded
+        degraded-mode outcomes.  A raising process whose failure nobody
+        waits on would otherwise take down the whole simulation — under
+        chaos, ill-timed second failures make that a real path."""
+        try:
+            yield from self._rebuild_structures()
+        except Exception as exc:
+            self._degraded(
+                f"rebuild-abandoned-after:{cf.name}:{type(exc).__name__}"
+            )
+        else:
+            self.metrics.counter("cf.rebuilds").add()
 
     def _rebuild_structures(self):
         """Rebuild every structure into a surviving CF from the connectors'
@@ -385,7 +436,6 @@ class Sysplex:
                 inst.castout = CastoutEngine(self.sim, inst.xes_cache,
                                              self.farm)
                 break
-        self.metrics.counter("cf.rebuilds").add()
 
     # -- growth (paper §2.4) -------------------------------------------------------
     def add_system(self) -> Instance:
@@ -470,6 +520,7 @@ class Sysplex:
             },
             cf_utilization=cf_util,
             extras=extras,
+            events=self.injector.log_events(),
         )
 
 

@@ -144,6 +144,111 @@ def test_cf_death_mid_run_without_backup_fails_txns():
         assert not r.waiters or r.holders
 
 
+# ------------------------------------------------------ chaos-found edges ----
+def test_rolling_maintenance_with_zero_gap():
+    """gap=0 makes each restart coincide with the next crash; exactly one
+    system is ever down and the plex survives the whole roll."""
+    plex, gen = build_loaded_sysplex(
+        small_cfg(3), options=RunOptions(terminals_per_system=2))
+    down_watch = []
+
+    def census():
+        while True:
+            yield plex.sim.timeout(0.05)
+            down_watch.append(sum(1 for n in plex.nodes if not n.alive))
+
+    plex.sim.process(census())
+    plex.injector.rolling_maintenance(plex.nodes, start=1.0, outage=0.5,
+                                      gap=0.0)
+    plex.sim.run(until=1.0 + 3 * 0.5 + 2.0)
+    assert all(n.alive for n in plex.nodes)
+    assert max(down_watch) == 1  # never two down at once, even at gap=0
+    labels = [label for _, label in plex.injector.log_events()]
+    assert labels.count("crash:SYS00") == 1
+    assert sum(1 for la in labels if la.startswith("crash")) == 3
+    assert sum(1 for la in labels if la.startswith("restart")) == 3
+    assert plex.metrics.counter("txn.completed").count > 0
+
+
+def test_contributor_crash_mid_rebuild_does_not_hang_recovery():
+    """A system dying while contributing to a structure rebuild must not
+    hang the recovery every other system is waiting on."""
+    plex, gen = build_loaded_sysplex(
+        small_cfg(3, n_cfs=2), options=RunOptions(terminals_per_system=0))
+    victim = plex.nodes[2]
+    plex.injector.fail_cf(plex.cfs[0], at=0.5)
+    # prewarmed buffer pools make the cache contribution ~1ms of CF
+    # service, so +0.5ms lands mid-rebuild with contributions in flight
+    plex.injector.crash_system(victim, at=0.5005)
+    plex.sim.run(until=4.0)
+    started = plex.metrics.counter("cf.rebuilds_started").count
+    finished = plex.metrics.counter("cf.rebuilds").count
+    abandoned = sum(1 for _t, la in plex.degraded_events
+                    if la.startswith("rebuild-abandoned"))
+    assert started >= 1
+    assert finished + abandoned == started  # terminated, not hung
+    # the survivors reconnected to the rebuilt structures
+    for name in ("SYS00", "SYS01"):
+        inst = plex.instances[name]
+        assert not inst.xes_lock.structure.lost
+        assert inst.xes_lock.structure.facility is plex.cfs[1]
+
+
+def test_contributor_link_loss_mid_rebuild_is_recorded():
+    """A contributor whose CF connectivity dies mid-contribution is
+    recorded in contributor_failures; the rebuild completes without it."""
+    plex, gen = build_loaded_sysplex(
+        small_cfg(3, n_cfs=2), options=RunOptions(terminals_per_system=0))
+    victim = plex.nodes[2]
+    plex.injector.fail_cf(plex.cfs[0], at=0.5)
+    # sever the victim's path to the rebuild target while its ~1ms cache
+    # contribution is in flight: the command dies with an interface
+    # control check
+    links = victim.cf_links[plex.cfs[1].name]
+    for i in range(len(links.links)):
+        plex.injector.fail_link(links, at=0.5005, index=i)
+    plex.sim.run(until=2.0)
+    assert plex.metrics.counter("cf.rebuilds").count == 1
+    rows = plex.xes.contributor_failures
+    assert any(r[1] == victim.name for r in rows), rows
+
+
+def test_dasd_path_repair_races_peer_recovery():
+    """Losing DASD paths under the failed system's log, then repairing
+    them while peer recovery reads that log, must not wedge recovery."""
+    from repro.config import ArmConfig, XcfConfig
+
+    plex, gen = build_loaded_sysplex(
+        small_cfg(3,
+                  arm=ArmConfig(restart_time=0.5, log_replay_time=0.3),
+                  xcf=XcfConfig(heartbeat_interval=0.25)),
+        options=RunOptions(terminals_per_system=2))
+    victim = plex.instances["SYS02"]
+    log_dev = victim.db.log.device
+    # degrade the log device before the crash, repair mid-recovery
+    plex.injector.fail_dasd_path(log_dev, at=0.4)
+    plex.injector.fail_dasd_path(log_dev, at=0.45)
+    plex.injector.crash_system(victim.node, at=0.5)
+    plex.injector.repair_dasd_path(log_dev, at=1.3)
+    plex.injector.repair_dasd_path(log_dev, at=1.5)
+    plex.injector.restart_system(victim.node, at=3.0)
+    done_mid = None
+
+    def snapshot():
+        yield plex.sim.timeout(4.0)
+        nonlocal done_mid
+        done_mid = plex.metrics.counter("txn.completed").count
+
+    plex.sim.process(snapshot())
+    plex.sim.run(until=6.0)
+    assert plex.recovery.recoveries, "peer recovery never completed"
+    assert not any(s == "SYS02" for s, _m in plex.lock_space.retained.values())
+    assert log_dev.available_paths == log_dev.config.paths
+    assert all(n.alive for n in plex.nodes)  # restarted and rejoined
+    # service continued after recovery + repair
+    assert plex.metrics.counter("txn.completed").count > done_mid
+
+
 # ------------------------------------------------------ shape checkers ----
 def test_fig3_shape_checker_catches_bad_curves():
     from repro.experiments.fig3_scalability import check_shape

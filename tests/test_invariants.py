@@ -1,0 +1,192 @@
+"""Invariant checker: each check trips on planted bad state, never on good."""
+
+from repro import InvariantChecker, RunOptions, check_reconvergence
+from repro.cf.lock import LockMode
+from repro.config import DatabaseConfig, SysplexConfig
+from repro.runner import build_loaded_sysplex
+
+
+def small_cfg(n=2, **kw):
+    return SysplexConfig(
+        n_systems=n,
+        db=DatabaseConfig(n_pages=8_000, buffer_pages=3_000),
+        **kw,
+    )
+
+
+def loaded(n=2, terminals=2):
+    return build_loaded_sysplex(
+        small_cfg(n), options=RunOptions(terminals_per_system=terminals))
+
+
+# ------------------------------------------------ healthy runs ----
+def test_healthy_run_has_no_violations():
+    plex, gen = loaded()
+    checker = InvariantChecker(plex, generator=gen, interval=0.05)
+    plex.sim.run(until=0.5)
+    report = checker.finalize(grace=1.0)
+    assert report["ok"], report["violations"]
+    assert checker.scans >= 5
+    assert report["finalized"]
+
+
+def test_checker_is_passive_and_deterministic():
+    """Running with the checker must not change simulation outcomes."""
+    plex_a, _ = loaded()
+    plex_a.sim.run(until=0.5)
+    plex_b, gen_b = loaded()
+    InvariantChecker(plex_b, generator=gen_b, interval=0.05)
+    plex_b.sim.run(until=0.5)
+    assert (plex_a.metrics.counter("txn.completed").count
+            == plex_b.metrics.counter("txn.completed").count)
+
+
+# ------------------------------------------------ lock safety ----
+def test_exclusive_alongside_share_is_a_violation():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    res = plex.lock_space._res("page:42")
+    res.holders[("SYS00", 1)] = LockMode.EXCL
+    res.holders[("SYS01", 2)] = LockMode.SHR
+    checker.scan()
+    assert not checker.ok
+    assert checker.violations[0].name == "lock-safety"
+
+
+def test_two_sharers_are_fine():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    res = plex.lock_space._res("page:42")
+    res.holders[("SYS00", 1)] = LockMode.SHR
+    res.holders[("SYS01", 2)] = LockMode.SHR
+    checker.scan()
+    assert checker.ok
+
+
+def test_persistent_violation_reported_once():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    res = plex.lock_space._res("page:42")
+    res.holders[("SYS00", 1)] = LockMode.EXCL
+    res.holders[("SYS01", 2)] = LockMode.EXCL
+    checker.scan()
+    checker.scan()
+    checker.scan()
+    assert len(checker.violations) == 1  # deduped across scans
+
+
+# ------------------------------------------------ durability ----
+def test_completion_without_commit_is_a_violation():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    inst = plex.instances["SYS00"]
+    inst.tm.completed = inst.db.commits + 5
+    checker.scan()
+    assert [v.name for v in checker.violations] == ["commit-durability"]
+
+
+# ------------------------------------------------ conservation ----
+def test_outcomes_exceeding_submissions_is_a_violation():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    plex.metrics.counter("txn.completed").add(5)
+    checker.scan()
+    names = [v.name for v in checker.violations]
+    assert "conservation" in names
+
+
+def test_submissions_exceeding_generation_is_a_violation():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    plex.metrics.counter("txn.submitted").add(3)  # gen.generated == 0
+    checker.scan()
+    assert any(v.name == "conservation" and "generated" in v.detail
+               for v in checker.violations)
+
+
+def test_conservation_against_generator_skipped_without_one():
+    plex, _ = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=None)
+    plex.metrics.counter("txn.submitted").add(3)
+    checker.scan()
+    assert checker.ok  # no generator: only the outcome-side inequality runs
+
+
+# ------------------------------------------------ rebuild termination ----
+def test_hung_rebuild_is_a_violation():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    plex.metrics.counter("cf.rebuilds_started").add()
+    report = checker.finalize(grace=1.0)
+    assert not report["ok"]
+    assert any(v["name"] == "rebuild-termination"
+               for v in report["violations"])
+
+
+def test_abandoned_rebuild_is_accounted_not_hung():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    plex.metrics.counter("cf.rebuilds_started").add()
+    plex.degraded_events.append((0.1, "rebuild-abandoned-after:CF01:Boom"))
+    report = checker.finalize(grace=1.0)
+    assert report["ok"], report["violations"]
+
+
+# ------------------------------------------------ retained locks ----
+def test_stuck_retained_locks_flagged_after_grace():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    plex.lock_space.retained["page:7"] = ("SYS01", LockMode.EXCL)
+    plex.sim.run(until=2.0)  # no injector events: last_event == 0.0
+    report = checker.finalize(grace=1.0)
+    assert any(v["name"] == "retained-locks" for v in report["violations"])
+
+
+def test_retained_locks_excused_within_grace():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    plex.lock_space.retained["page:7"] = ("SYS01", LockMode.EXCL)
+    plex.sim.run(until=0.2)
+    report = checker.finalize(grace=1.0)  # 0.2s since "t=0 fault" < grace
+    assert report["ok"], report["violations"]
+
+
+def test_retained_locks_excused_when_recovery_failed_on_record():
+    plex, gen = loaded(terminals=0)
+    checker = InvariantChecker(plex, generator=gen)
+    plex.lock_space.retained["page:7"] = ("SYS01", LockMode.EXCL)
+    plex.degraded_events.append((0.1, "recovery-failed:SYS01:LinkDownError"))
+    plex.sim.run(until=2.0)
+    report = checker.finalize(grace=1.0)
+    assert report["ok"], report["violations"]
+
+
+# ------------------------------------------------ reconvergence ----
+TIMELINE = [{"t": t / 2, "throughput": tp}
+            for t, tp in [(2, 100.0), (4, 10.0), (6, 20.0),
+                          (8, 90.0), (10, 95.0)]]
+
+
+def test_reconvergence_passes_when_tail_recovers():
+    v = check_reconvergence(TIMELINE, offered=100.0, last_repair=2.0,
+                            fraction=0.5, settle=1.0)
+    assert v is None  # tail windows (t>3) average 92.5 >= 50
+
+
+def test_reconvergence_fails_when_tail_stays_low():
+    flat = [{"t": w["t"], "throughput": 10.0} for w in TIMELINE]
+    v = check_reconvergence(flat, offered=100.0, last_repair=2.0,
+                            fraction=0.5, settle=1.0)
+    assert v is not None and v["name"] == "reconvergence"
+
+
+def test_reconvergence_excused_when_degraded():
+    flat = [{"t": w["t"], "throughput": 0.0} for w in TIMELINE]
+    assert check_reconvergence(flat, offered=100.0, last_repair=2.0,
+                               degraded=True) is None
+
+
+def test_reconvergence_inconclusive_without_settle_window():
+    v = check_reconvergence(TIMELINE, offered=100.0, last_repair=5.0,
+                            settle=3.0)
+    assert v is None  # no window ends after t=8: inconclusive, not a failure

@@ -91,6 +91,13 @@ class CacheStructure(Structure):
         self.data_elements = data_elements
         self.directory_entries = directory_entries
         self._dir: "OrderedDict[object, _DirEntry]" = OrderedDict()
+        #: changed entries in ``_dir`` order — a castout scan reads this
+        #: instead of walking the whole directory.  The mirror stays in
+        #: ``_dir`` order by construction: an entry only *becomes* changed
+        #: at the directory's LRU tail (every write ends with
+        #: ``move_to_end``), every later touch moves both tails together,
+        #: and castout completion removes position-independently.
+        self._changed: "OrderedDict[object, None]" = OrderedDict()
         self._data_count = 0
         self.vectors: Dict[int, LocalVector] = {}
         # statistics
@@ -128,6 +135,8 @@ class CacheStructure(Structure):
         entry.seen[conn.conn_id] = entry.version
         self.vectors[conn.conn_id].set_valid(bit_index)
         self._dir.move_to_end(name)
+        if entry.changed:
+            self._changed.move_to_end(name)
         if entry.has_data:
             self.read_hits += 1
             return ("hit", entry.version)
@@ -155,6 +164,9 @@ class CacheStructure(Structure):
             entry.changed = entry.changed or changed
         entry.seen[conn.conn_id] = entry.version
         self._dir.move_to_end(name)
+        if entry.changed:
+            self._changed[name] = None
+            self._changed.move_to_end(name)
 
         n = 0
         for cid, bit in list(entry.registrants.items()):
@@ -185,11 +197,10 @@ class CacheStructure(Structure):
     def changed_blocks(self, limit: int = 64) -> List[object]:
         """Names of changed blocks awaiting castout (oldest first)."""
         out = []
-        for name, entry in self._dir.items():
-            if entry.changed:
-                out.append(name)
-                if len(out) >= limit:
-                    break
+        for name in self._changed:
+            out.append(name)
+            if len(out) >= limit:
+                break
         return out
 
     def castout(self, name: object) -> Optional[int]:
@@ -206,6 +217,7 @@ class CacheStructure(Structure):
         entry = self._dir.get(name)
         if entry is not None and entry.version == version:
             entry.changed = False
+            self._changed.pop(name, None)
             self.castouts += 1
 
     # -- storage management ---------------------------------------------------------

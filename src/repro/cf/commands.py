@@ -34,12 +34,32 @@ from typing import Any, Callable, Generator, Optional
 import numpy as np
 
 from ..config import CfConfig
-from ..hardware.links import LinkDownError, LinkSet
+from ..hardware.links import InterfaceControlCheck, LinkDownError, LinkSet
 from ..hardware.system import SystemNode, SystemDown
 from ..simkernel import Interrupt
 from .facility import CfFailedError, CouplingFacility
 
 __all__ = ["CfPort", "CfRequestTimeout"]
+
+#: Global kill switch for the flattened fast path (checked at port
+#: construction).  Tests flip it to prove fast and general paths produce
+#: identical results; production code leaves it on.
+FAST_PATH = True
+
+#: Opt-in event-collapsed variant of the fast path.  When the whole stack
+#: is idle it merges the issue+latency+transfer head and the
+#: signal+latency tail into single absolute-time events (8 -> 5 calendar
+#: events per sync command).  Event *times* and resource state are
+#: bit-identical to the general path, but merged events are *created*
+#: earlier, so at saturation — where the workload's constant costs
+#: phase-lock many commands onto the exact same float instants — two
+#: commands arriving at the CF in the same instant can pop in a different
+#: order than the general path when one of them went general (async, or
+#: subchannel-contended fallback).  That reordering is statistically
+#: neutral but not byte-identical, so the collapse is off by default;
+#: flip it for maximum event throughput when exact replay of a general-
+#: path run is not required.
+COLLAPSE = False
 
 
 class CfRequestTimeout(Exception):
@@ -63,10 +83,30 @@ class CfPort:
         self.retry_rng = retry_rng
         self.sync_ops = 0
         self.async_ops = 0
+        #: sync commands that completed via the collapsed fast path
+        self.fast_syncs = 0
         #: robustness counters (only move when request_timeout is set)
         self.timeouts = 0
         self.iccs = 0
         self.retries = 0
+        # Per-port constants, resolved once at wiring time instead of per
+        # command.  ``_issue_inflated`` memoizes the MP-inflation product
+        # (a float pow per call otherwise); the rest are attribute-chain
+        # flattening.  Each is used by *both* paths with the exact
+        # expression shape of the original per-command computation, so the
+        # resulting floats are bit-identical.
+        self._issue_inflated = config.sync_issue_cpu * node.cpu.config.inflation()
+        self._latency = links.config.latency
+        self._bandwidth = links.config.bandwidth
+        self._cmd_service = config.cmd_service
+        self._data_cmd_service = config.data_cmd_service
+        self._signal_latency = config.signal_latency
+        #: the fast path engages only when there is nothing it could hide:
+        #: no request-level robustness (chaos) and no span tracer on either
+        #: end of the command (attach tracers at construction time)
+        self._fast = (FAST_PATH and config.request_timeout is None
+                      and trace is None and cf.trace is None)
+        self._collapse = COLLAPSE and self._fast
 
     # -- internals ----------------------------------------------------------
     def _service(self, fn: Callable[[], Any], data: bool, signal_wait: bool,
@@ -173,6 +213,167 @@ class CfPort:
             yield from self._robust_trip(fn, out_bytes, in_bytes, data,
                                          signal_wait, box, service_factor)
 
+    # -- the flattened fast path --------------------------------------------
+    def _plain_trip(self, fn: Callable[[], Any], out_bytes: int,
+                    in_bytes: int, data: bool, signal_wait: bool, box: list,
+                    service_factor: float) -> Generator:
+        """The general round trip with its generator stack flattened.
+
+        Byte-identical to ``_trip`` with ``request_timeout=None`` — the
+        same resource requests, the same timeouts with the same float
+        arithmetic, the same checks at the same instants — but in one
+        generator frame instead of four (``_trip`` -> ``occupy`` ->
+        ``_service`` -> ``execute``), with per-port constants instead of
+        per-command attribute chains.
+        """
+        sim = self.sim
+        cf = self.cf
+        link = self.links.pick()
+        sreq = link.subchannels.request()
+        try:
+            yield sreq
+            if not link.operational:
+                raise InterfaceControlCheck(link.name)
+            yield sim.timeout(
+                self._latency + (out_bytes + in_bytes) / self._bandwidth
+            )
+            if not link.operational:
+                raise InterfaceControlCheck(link.name)
+            if cf.failed:
+                raise CfFailedError(cf.name)
+            preq = cf.processors.request()
+            try:
+                yield preq
+                if cf.failed:
+                    raise CfFailedError(cf.name)
+                yield sim.timeout(
+                    service_factor * self._cmd_service
+                    + (self._data_cmd_service if data else 0.0)
+                )
+                if cf.failed:
+                    raise CfFailedError(cf.name)
+                cf.commands_executed += 1
+            finally:
+                preq.cancel()
+            box.append(fn())
+            if signal_wait:
+                # CF responds only after observing signal completion
+                yield sim.timeout(self._signal_latency)
+            yield sim.timeout(self._latency)
+            if not link.operational:
+                raise InterfaceControlCheck(link.name)
+            link.ops += 1
+        finally:
+            sreq.cancel()
+
+    # -- the collapsed fast path (opt-in; see COLLAPSE) ---------------------
+    def _collapsed_trip(self, link, sreq, fn: Callable[[], Any],
+                        out_bytes: int, in_bytes: int, data: bool,
+                        signal_wait: bool, box: list,
+                        service_factor: float) -> Generator:
+        """The collapsed round trip: subchannel already seized (``sreq``).
+
+        Mirrors the general path instant-for-instant — every stop the CF
+        processor occupancy or a structure mutation could be observed at
+        lands on the bit-identical float time the event chain would have
+        produced (absolute-time scheduling via ``timeout_at``; same
+        expression shapes for every sum) — but crosses it in 3 calendar
+        events instead of 8.  See ``COLLAPSE`` for the intra-instant
+        ordering caveat that keeps this variant opt-in.
+        """
+        sim = self.sim
+        cf = self.cf
+        try:
+            # engine-grant time -> command arrival at the CF: issue CPU,
+            # then one-way latency + transfer, merged into one event
+            transfer = (out_bytes + in_bytes) / self._bandwidth
+            t_arrive = (sim._now + self._issue_inflated) \
+                + (self._latency + transfer)
+            yield sim.timeout_at(t_arrive)
+            if not link.operational:
+                raise InterfaceControlCheck(link.name)
+            if cf.failed:
+                raise CfFailedError(cf.name)
+            # CF processor: queue exactly as ``CouplingFacility.execute``
+            # would.  The grant event is kept even when a processor is
+            # idle: commands from phase-locked systems arrive at the CF at
+            # the *same instant*, and the grant event is what keeps their
+            # intra-instant ordering identical to the general path.
+            preq = cf.processors.request()
+            try:
+                yield preq
+                if cf.failed:
+                    raise CfFailedError(cf.name)
+                svc = service_factor * self._cmd_service + (
+                    self._data_cmd_service if data else 0.0
+                )
+                yield sim.timeout(svc)
+                if cf.failed:
+                    raise CfFailedError(cf.name)
+                cf.commands_executed += 1
+            finally:
+                preq.cancel()
+            # structure mutation at the exact service-completion instant
+            # (it may schedule cross-invalidate signals from "now")
+            box.append(fn())
+            # optional signal-completion wait + return latency, one event
+            if signal_wait:
+                t_done = (sim._now + self._signal_latency) + self._latency
+            else:
+                t_done = sim._now + self._latency
+            yield sim.timeout_at(t_done)
+            if not link.operational:
+                raise InterfaceControlCheck(link.name)
+            link.ops += 1
+        finally:
+            sreq.cancel()
+
+    def _collapsed_sync(self, fn: Callable[[], Any], out_bytes: int,
+                        in_bytes: int, data: bool, signal_wait: bool,
+                        box: list, service_factor: float) -> Generator:
+        """Contention-aware sync: collapse the trip when the stack is idle.
+
+        The subchannel is claimed event-free when idle; a busy subchannel
+        (or every link down) falls back to the flattened general path's
+        queueing from the exact same instant.
+        """
+        sim = self.sim
+        cpu = self.node.cpu
+        # The engine grant stays a real event even when an engine is free:
+        # releasing-and-reclaiming processes and same-instant arrivals
+        # interleave through this event, and dropping it would let this
+        # command run ahead of same-time work the general path runs after.
+        req = cpu.engines.request()
+        start = -1.0
+        try:
+            yield req
+            start = sim._now
+            link = None
+            sreq = None
+            try:
+                link = self.links.pick()
+            except LinkDownError:
+                pass
+            if link is not None:
+                sreq = link.try_reserve()
+            if sreq is None:
+                # subchannel contention (or no operational link): general
+                # path from here — its own pick() at issue-complete time,
+                # its own queueing and error timing
+                yield sim.timeout(self._issue_inflated)
+                yield from self._plain_trip(fn, out_bytes, in_bytes, data,
+                                            signal_wait, box,
+                                            service_factor)
+            else:
+                yield from self._collapsed_trip(link, sreq, fn, out_bytes,
+                                                in_bytes, data, signal_wait,
+                                                box, service_factor)
+                self.fast_syncs += 1
+        finally:
+            if start >= 0.0:
+                cpu.busy_seconds += sim._now - start
+            req.cancel()
+
     # -- synchronous --------------------------------------------------------
     def sync(self, fn: Callable[[], Any], out_bytes: int = 64,
              in_bytes: int = 64, data: bool = False,
@@ -185,22 +386,90 @@ class CfPort:
         """
         if not self.node.alive:
             raise SystemDown(self.node.name)
+        box: list = []
+        if self._fast:
+            if self._collapse:
+                yield from self._collapsed_sync(fn, out_bytes, in_bytes,
+                                                data, signal_wait, box,
+                                                service_factor)
+                self.sync_ops += 1
+                return box[0]
+            # Flattened fast path: the whole round trip in this one frame.
+            # Event-for-event and float-for-float identical to the general
+            # branch below — the win is the Python that *isn't* here: four
+            # nested generator frames, per-command attribute chains, an
+            # MP-inflation pow, and tracer branches.
+            sim = self.sim
+            cf = self.cf
+            cpu = self.node.cpu
+            req = cpu.engines.request()
+            start = -1.0
+            try:
+                yield req
+                start = sim._now
+                yield sim.timeout(self._issue_inflated)
+                link = self.links.pick()
+                sreq = link.subchannels.request()
+                try:
+                    yield sreq
+                    if not link.operational:
+                        raise InterfaceControlCheck(link.name)
+                    yield sim.timeout(
+                        self._latency
+                        + (out_bytes + in_bytes) / self._bandwidth
+                    )
+                    if not link.operational:
+                        raise InterfaceControlCheck(link.name)
+                    if cf.failed:
+                        raise CfFailedError(cf.name)
+                    preq = cf.processors.request()
+                    try:
+                        yield preq
+                        if cf.failed:
+                            raise CfFailedError(cf.name)
+                        yield sim.timeout(
+                            service_factor * self._cmd_service
+                            + (self._data_cmd_service if data else 0.0)
+                        )
+                        if cf.failed:
+                            raise CfFailedError(cf.name)
+                        cf.commands_executed += 1
+                    finally:
+                        preq.cancel()
+                    box.append(fn())
+                    if signal_wait:
+                        yield sim.timeout(self._signal_latency)
+                    yield sim.timeout(self._latency)
+                    if not link.operational:
+                        raise InterfaceControlCheck(link.name)
+                    link.ops += 1
+                finally:
+                    sreq.cancel()
+            finally:
+                if start >= 0.0:
+                    cpu.busy_seconds += sim._now - start
+                req.cancel()
+            self.sync_ops += 1
+            self.fast_syncs += 1
+            return box[0]
         tr = self.trace
         span = -1 if tr is None else tr.begin("cf.sync")
         cpu = self.node.cpu
-        box: list = []
         req = cpu.engines.request()
+        start = -1.0
         try:
             yield req
             start = self.sim.now
             # command build / response handling path length (MP-inflated)
-            yield self.sim.timeout(
-                self.config.sync_issue_cpu * cpu.config.inflation()
-            )
+            yield self.sim.timeout(self._issue_inflated)
             yield from self._trip(fn, out_bytes, in_bytes, data,
                                   signal_wait, box, service_factor)
-            cpu.busy_seconds += self.sim.now - start
         finally:
+            if start >= 0.0:
+                # charge the spin actually burned — previously only
+                # credited on success, dropping the elapsed time when the
+                # trip died mid-flight (SystemDown / CfFailedError / ICC)
+                cpu.busy_seconds += self.sim.now - start
             req.cancel()
             if tr is not None:
                 tr.end(span)
@@ -219,10 +488,17 @@ class CfPort:
         """
         if not self.node.alive:
             raise SystemDown(self.node.name)
-        tr = self.trace
-        span = -1 if tr is None else tr.begin("cf.async")
         cpu = self.node.cpu
         box: list = []
+        if self._fast:
+            yield from cpu.consume(self.config.sync_issue_cpu)
+            yield from self._plain_trip(fn, out_bytes, in_bytes, data,
+                                        signal_wait, box, service_factor)
+            yield from cpu.consume(self.config.async_extra_cpu)
+            self.async_ops += 1
+            return box[0]
+        tr = self.trace
+        span = -1 if tr is None else tr.begin("cf.async")
         try:
             yield from cpu.consume(self.config.sync_issue_cpu)
             yield from self._trip(fn, out_bytes, in_bytes, data,

@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv-dir", default=None, metavar="DIR",
         help="also write each printed table to DIR as CSV",
     )
+    parser.add_argument(
+        "--profile", nargs="?", const=True, default=None, metavar="PATH",
+        help="profile the run under cProfile and print the top 25 "
+        "functions by cumulative time; with PATH, also dump raw pstats "
+        "there (implies --jobs 1 and --no-cache so the profile sees the "
+        "simulation, not the worker pool or cache)",
+    )
     return parser
 
 
@@ -123,6 +130,10 @@ def main(argv=None) -> None:
             f"--filter {args.filter!r} matches no experiment (have: {names})"
         )
 
+    if args.profile is not None:
+        # profile the actual simulation: in-process, cache off — a pool
+        # of workers or a cache replay would leave the profile empty
+        args.jobs, args.no_cache = 1, True
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     common.set_execution(jobs=jobs, cache=cache, csv_dir=args.csv_dir,
@@ -130,11 +141,35 @@ def main(argv=None) -> None:
 
     quick = not args.full
     t0 = time.time()
-    for mod in selected:
-        print("\n" + "#" * 72)
-        print("#", mod.__name__)
-        print("#" * 72)
-        mod.main(quick=quick, seed=args.seed)
+
+    def run_selected() -> None:
+        for mod in selected:
+            print("\n" + "#" * 72)
+            print("#", mod.__name__)
+            print("#" * 72)
+            mod.main(quick=quick, seed=args.seed)
+
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            run_selected()
+        finally:
+            profiler.disable()
+            print("\n" + "=" * 72)
+            print("cProfile: top 25 by cumulative time")
+            print("=" * 72)
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(25)
+            if args.profile is not True:
+                stats.dump_stats(args.profile)
+                print(f"pstats dump written to {args.profile} "
+                      "(inspect with: python -m pstats)")
+    else:
+        run_selected()
     line = (
         f"\n{len(selected)}/{len(ALL)} experiments done in "
         f"{time.time() - t0:.0f}s "

@@ -35,6 +35,22 @@ class RunResult:
     #: failure/repair event timeline from the sysplex's injector, as
     #: ``[time, label]`` rows (empty for undisturbed runs)
     events: List[list] = field(default_factory=list)
+    #: simulator events processed during the measured window (a machine
+    #: cost, not a model output — excluded from serialization and from
+    #: equality, see :meth:`to_dict`)
+    sim_events: int = field(default=0, compare=False)
+
+    @property
+    def events_per_committed_txn(self) -> float:
+        """Kernel events processed per committed transaction.
+
+        The macro-benchmark efficiency metric: wall time divides into
+        events/txn (how much machinery one transaction costs) times
+        seconds/event (kernel speed).  Fast-path work lowers the former
+        without touching model results."""
+        if self.completed <= 0:
+            return 0.0
+        return self.sim_events / self.completed
 
     @property
     def mean_utilization(self) -> float:
@@ -55,11 +71,15 @@ class RunResult:
 
         ``events`` is omitted when empty so results from undisturbed
         runs serialize byte-identically to pre-chaos versions (cache
-        entries and regression baselines stay valid).
+        entries and regression baselines stay valid).  ``sim_events`` is
+        always omitted: it measures the simulator, not the modeled
+        sysplex, and keeping it out of payloads means kernel work that
+        changes the event count cannot churn golden results.
         """
         d = asdict(self)
         if not self.events:
             del d["events"]
+        del d["sim_events"]
         return d
 
     @classmethod

@@ -12,6 +12,7 @@ raises :class:`DeprecationWarning`::
 
 from __future__ import annotations
 
+import gc
 import warnings
 from typing import TYPE_CHECKING, Optional, Tuple
 
@@ -108,9 +109,22 @@ def run_oltp(config: SysplexConfig,
     """
     opts = _resolve_options(options, legacy, "run_oltp")
     plex, _gen = build_loaded_sysplex(config, options=opts, trace=trace)
-    plex.sim.run(until=warmup)
-    plex.reset_measurement()
-    plex.sim.run(until=warmup + duration)
+    # The event loop allocates millions of short-lived cyclic objects
+    # (process <-> generator frame <-> event); letting the cycle collector
+    # run mid-simulation costs ~10% of wall time and can never free much,
+    # since the calendar keeps everything reachable.  Suspend it for the
+    # run and let the backlog collect afterwards.  No simulation state is
+    # affected, so results are unchanged.
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        plex.sim.run(until=warmup)
+        plex.reset_measurement()
+        plex.sim.run(until=warmup + duration)
+    finally:
+        if was_enabled:
+            gc.enable()
     if label is None:
         sharing = "DS" if config.data_sharing and config.n_cfs else "noDS"
         label = (

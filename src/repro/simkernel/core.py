@@ -359,6 +359,9 @@ class Simulator:
         #: observers of the process lifecycle (see add_process_watcher);
         #: empty by default so the hot resume path pays one falsy check
         self._process_watchers: list = []
+        #: calendar events processed so far (the model layer's cost metric:
+        #: fewer events for the same simulated outcome = a faster run)
+        self.events_processed: int = 0
 
     # -- clock -------------------------------------------------------------
     @property
@@ -391,6 +394,23 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """An event firing at *absolute* time ``when`` (>= now).
+
+        Unlike ``timeout(when - now)``, the target time is used exactly as
+        given — no ``now + delay`` float round trip — so a caller collapsing
+        a chain of relative timeouts can land on the bit-identical instants
+        the chain would have produced.
+        """
+        if when < self._now:
+            raise ValueError("cannot schedule in the past")
+        ev = Event(self)
+        ev._value = value
+        ev._state = _TRIGGERED
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (when, NORMAL, seq, ev))
+        return ev
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register a generator as a running process."""
@@ -427,6 +447,7 @@ class Simulator:
         """Process the single next event.  Raises IndexError when empty."""
         when, _prio, _seq, event = heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         event._run_callbacks()
 
     def peek(self) -> float:
@@ -462,10 +483,12 @@ class Simulator:
         # event, which is the bulk of the kernel's per-event cost.
         queue = self._queue
         pop = heappop
+        count = 0
         try:
             while queue and queue[0][0] <= horizon:
                 when, _prio, _seq, event = pop(queue)
                 self._now = when
+                count += 1
                 callbacks = event.callbacks
                 event.callbacks = None
                 event._state = _PROCESSED
@@ -480,6 +503,10 @@ class Simulator:
             if isinstance(until, Event) and not until._ok:
                 raise val
             return val
+        finally:
+            # flushed once per run() call, not per event, to keep the
+            # loop free of per-event attribute stores
+            self.events_processed += count
         if horizon != float("inf"):
             self._now = horizon
         if isinstance(until, Event):

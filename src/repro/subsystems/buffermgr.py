@@ -77,6 +77,32 @@ class BufferManager:
         return self.xes.structure if self.xes else None  # type: ignore
 
     # -- read path -----------------------------------------------------------
+    def try_get_local(self, page: object) -> Optional[str]:
+        """Plain-call fast path: ``"local"`` iff ``page`` is a clean local
+        hit, else ``None`` with **no side effects** — the caller falls back
+        to :meth:`get_page`, which redoes the lookup identically.
+
+        A local hit costs only the vector-bit test (the paper's new CPU
+        instruction) and touches no event machinery, so callers on the
+        transaction inner loop skip building a generator for the common
+        case entirely.
+        """
+        buf = self._pool.get(page)
+        if buf is None:
+            return None
+        xes = self.xes
+        if xes is None:
+            self._pool.move_to_end(page)
+            self.local_hits += 1
+            return "local"
+        if not xes.connector.active:
+            return None  # let get_page raise SystemDown as before
+        if xes.structure.vector_of(xes.connector).test(buf.slot):
+            self._pool.move_to_end(page)
+            self.local_hits += 1
+            return "local"
+        return None  # cross-invalidated: get_page pays the refresh
+
     def get_page(self, page: object) -> Generator:
         """Process step: make ``page`` current in a local buffer.
 

@@ -72,18 +72,22 @@ class DatabaseManager:
         tr = self.trace
 
         if tr is None:
+            buffers = self.buffers
             yield from self.node.cpu.consume(half_cpu)
             for page in reads:
                 if page in write_set:
                     continue  # will be locked EXCL below
                 self._check_alive()
                 yield from self.locks.lock(owner, page, LockMode.SHR)
-                yield from self.buffers.get_page(page)
+                # clean local hit: vector-bit test only, no generator
+                if buffers.try_get_local(page) is None:
+                    yield from buffers.get_page(page)
             for page in writes:
                 self._check_alive()
                 yield from self.locks.lock(owner, page, LockMode.EXCL)
-                yield from self.buffers.get_page(page)
-                self.buffers.mark_dirty(page)
+                if buffers.try_get_local(page) is None:
+                    yield from buffers.get_page(page)
+                buffers.mark_dirty(page)
                 self.log.log_update(owner, page)
             self._check_alive()
             yield from self.node.cpu.consume(half_cpu)

@@ -283,8 +283,12 @@ class LockManager:
             from ..hardware.cpu import SystemDown
 
             raise SystemDown(self.system_name)
+        space = self.space
         structure, conn = self.structure, self.xes.connector
 
+        # one closure per call is load-bearing: several transactions on
+        # one system lock concurrently, and the CF executes ``fn`` at
+        # command-service time, long after this frame moved on
         def cf_request():
             result = structure.request(conn, resource, mode)
             if result.granted and mode == LockMode.EXCL:
@@ -292,58 +296,66 @@ class LockManager:
                 structure.write_record(conn, resource, {"sys": self.system_name})
             return result
 
-        def undo_interest():
-            structure.release(conn, resource, mode)
-            if mode == LockMode.EXCL:
-                structure.delete_record(conn, resource)
+        # Retained-lock check: updates of a failed system stay protected
+        # until peer recovery completes; conflicting requests are
+        # REJECTED, not queued (see RetainedLockReject).  ``retained`` is
+        # empty except during a recovery window, so the common case is
+        # one dict truthiness test.
+        if space.retained and space.conflicts_with_retained(resource, mode):
+            raise RetainedLockReject(resource)
 
-        while True:
-            # Retained-lock check: updates of a failed system stay
-            # protected until peer recovery completes; conflicting
-            # requests are REJECTED, not queued (see RetainedLockReject).
-            if self.space.conflicts_with_retained(resource, mode):
+        result = yield from self.xes.sync(cf_request)
+
+        if result.granted:
+            if space.retained and space.conflicts_with_retained(resource,
+                                                                mode):
+                self._undo_interest(resource, mode)  # system died mid-request
                 raise RetainedLockReject(resource)
-
-            result = yield from self.xes.sync(cf_request)
-
-            if result.granted:
-                if self.space.conflicts_with_retained(resource, mode):
-                    undo_interest()  # a system died mid-request: re-check
-                    raise RetainedLockReject(resource)
-                if self.space.try_grant(resource, owner, mode):
-                    self.sync_grants += 1
-                    self._note_held(owner, resource, mode)
-                    return
-                # CF said yes but software state disagrees (another owner
-                # on this same system holds it): undo the recorded
-                # interest and wait locally via the common queue.
-                undo_interest()
-                yield from self._wait(owner, resource, mode)
-                return
-
-            # Contention: negotiate with the holders.
-            self.negotiations += 1
-            tr = self.trace
-            if tr is None:
-                yield from self.xes.node.cpu.consume(NEGOTIATION_CPU)
-                yield self.sim.timeout(self.xcf_config.message_latency)
-            else:
-                yield from tr.traced(
-                    "lock.negotiate", self._negotiate_cost()
-                )
-            self._charge_holders(resource)
-
-            if self.space.conflicts_with_retained(resource, mode):
-                raise RetainedLockReject(resource)
-            if self.space.try_grant(resource, owner, mode):
-                # false contention (or holder released meanwhile): grant
-                yield from self.xes.sync(
-                    lambda: structure.force_record(conn, resource, mode)
-                )
+            if space.try_grant(resource, owner, mode):
+                self.sync_grants += 1
                 self._note_held(owner, resource, mode)
                 return
+            # CF said yes but software state disagrees (another owner
+            # on this same system holds it): undo the recorded
+            # interest and wait locally via the common queue.
+            self._undo_interest(resource, mode)
             yield from self._wait(owner, resource, mode)
             return
+
+        yield from self._lock_contended(owner, resource, mode)
+
+    def _undo_interest(self, resource: object, mode: str) -> None:
+        """Back out interest recorded by a granted-then-rejected request."""
+        structure, conn = self.structure, self.xes.connector
+        structure.release(conn, resource, mode)
+        if mode == LockMode.EXCL:
+            structure.delete_record(conn, resource)
+
+    def _lock_contended(self, owner: object, resource: object,
+                        mode: str) -> Generator:
+        """The negotiation path: the CF returned the holders' identities."""
+        structure, conn = self.structure, self.xes.connector
+        self.negotiations += 1
+        tr = self.trace
+        if tr is None:
+            yield from self.xes.node.cpu.consume(NEGOTIATION_CPU)
+            yield self.sim.timeout(self.xcf_config.message_latency)
+        else:
+            yield from tr.traced(
+                "lock.negotiate", self._negotiate_cost()
+            )
+        self._charge_holders(resource)
+
+        if self.space.conflicts_with_retained(resource, mode):
+            raise RetainedLockReject(resource)
+        if self.space.try_grant(resource, owner, mode):
+            # false contention (or holder released meanwhile): grant
+            yield from self.xes.sync(
+                lambda: structure.force_record(conn, resource, mode)
+            )
+            self._note_held(owner, resource, mode)
+            return
+        yield from self._wait(owner, resource, mode)
 
     def _negotiate_cost(self) -> Generator:
         """Requester-side negotiation cost (split out for span tracing)."""

@@ -462,6 +462,7 @@ class Sysplex:
         self._cf_snapshot = [cf.processors.busy_area() for cf in self.cfs]
         self._measure_start = self.sim.now
         self._completed_start = self.metrics.counter("txn.completed").count
+        self._events_start = self.sim.events_processed
 
     def collect(self, label: str) -> RunResult:
         """Summarize the window since :meth:`reset_measurement`."""
@@ -521,6 +522,9 @@ class Sysplex:
             cf_utilization=cf_util,
             extras=extras,
             events=self.injector.log_events(),
+            sim_events=(
+                self.sim.events_processed - getattr(self, "_events_start", 0)
+            ),
         )
 
 

@@ -1,0 +1,175 @@
+"""Tests for the uncontended fast paths through the CF command stack.
+
+The fast paths (``repro.cf.commands.FAST_PATH``, the lock-manager
+single-frame grant, the buffer-manager ``try_get_local``) are pure
+machinery: they must change *nothing* observable about a run — not the
+event timing, not the RNG draw order, not a single statistic.  These
+tests pin that contract on a contended-by-construction scenario, gate the
+events-per-transaction cost metric, and check the robustness/chaos
+configurations stay off the fast path entirely.
+"""
+
+import pytest
+
+import repro.cf.commands as commands
+from repro.config import CfConfig
+from repro.experiments.common import QUICK, scaled_config
+from repro.options import RunOptions
+from repro.runner import build_loaded_sysplex, run_oltp
+from repro.simkernel import Resource, Simulator
+
+#: events_per_committed_txn measured for the Table-1 base quick point
+#: (1 system, no data sharing, seed 1) when the fast paths landed.  The
+#: count is deterministic for a fixed seed; growth means new event
+#: machinery crept onto the per-transaction path.
+TAB1_BASE_EVENTS_PER_TXN = 60.5
+
+
+def _run(cfg, duration=0.25, warmup=0.15):
+    """run_oltp, but keeping the sysplex so tests can inspect the ports."""
+    plex, _gen = build_loaded_sysplex(cfg, options=RunOptions())
+    plex.sim.run(until=warmup)
+    plex.reset_measurement()
+    plex.sim.run(until=warmup + duration)
+    return plex, plex.collect("fastpath-test")
+
+
+def _ports(plex):
+    for inst in plex.instances.values():
+        for xes in (inst.xes_lock, inst.xes_cache, inst.xes_list):
+            if xes is not None and hasattr(xes, "port"):
+                yield xes.port
+
+
+# ------------------------------------------------------------ equivalence ----
+def test_fast_path_identical_under_contention(monkeypatch):
+    """Fast on vs. off: byte-identical results on a contended scenario.
+
+    A single CF processor serving 8 saturated systems queues commands by
+    construction, so the flattened path's contended branches (subchannel
+    wait, processor wait) all execute — and must reproduce the general
+    path's event sequence exactly.
+    """
+    # one slow CF processor serving 8 systems: commands queue at the
+    # subchannels and at the CF engine on most requests
+    cfg = scaled_config(8, 1, seed=1,
+                        cf=CfConfig(n_cpus=1, cmd_service=12e-6,
+                                    data_cmd_service=24e-6))
+
+    monkeypatch.setattr(commands, "FAST_PATH", False)
+    plex_gen, res_gen = _run(cfg)
+    assert all(p.fast_syncs == 0 for p in _ports(plex_gen))
+
+    monkeypatch.setattr(commands, "FAST_PATH", True)
+    plex_fast, res_fast = _run(cfg)
+    assert sum(p.fast_syncs for p in _ports(plex_fast)) > 0
+
+    # contended by construction: the lone CF processor is the bottleneck
+    assert res_gen.cf_utilization > 0.5
+    assert res_fast.to_dict() == res_gen.to_dict()
+
+
+def test_collapsed_mode_statistically_neutral(monkeypatch):
+    """COLLAPSE merges events (not byte-safe at saturation, hence opt-in)
+    but must stay statistically indistinguishable from the general path."""
+    cfg = scaled_config(4, 1, seed=1)
+
+    monkeypatch.setattr(commands, "COLLAPSE", False)
+    _, res_default = _run(cfg)
+    monkeypatch.setattr(commands, "COLLAPSE", True)
+    plex_col, res_col = _run(cfg)
+
+    assert sum(p.fast_syncs for p in _ports(plex_col)) > 0
+    assert res_col.completed == pytest.approx(res_default.completed, rel=0.05)
+    assert res_col.response_mean == pytest.approx(
+        res_default.response_mean, rel=0.10)
+
+
+# ------------------------------------------------------------- cost gate ----
+def test_events_per_committed_txn_no_regression():
+    cfg = scaled_config(1, 1, data_sharing=False, seed=1)
+    result = run_oltp(cfg, duration=QUICK["duration"],
+                      warmup=QUICK["warmup"])
+    assert result.sim_events > 0
+    assert result.completed > 0
+    assert result.events_per_committed_txn <= 1.10 * TAB1_BASE_EVENTS_PER_TXN
+
+
+def test_sim_events_excluded_from_payloads():
+    """The machine-cost counter must never leak into golden payloads."""
+    cfg = scaled_config(1, 1, data_sharing=False, seed=1)
+    result = run_oltp(cfg, duration=0.1, warmup=0.05)
+    assert result.sim_events > 0
+    assert "sim_events" not in result.to_dict()
+
+
+# ------------------------------------------------------ robustness gating ----
+def test_request_timeout_disables_fast_path():
+    """Chaos/robustness runs (request_timeout set) need the general path's
+    retry/ICC machinery — the fast path must never engage."""
+    cfg = scaled_config(2, 1, seed=1,
+                        cf=CfConfig(request_timeout=0.005))
+    plex, result = _run(cfg, duration=0.15, warmup=0.1)
+    ports = list(_ports(plex))
+    assert ports and all(not p._fast for p in ports)
+    assert all(p.fast_syncs == 0 for p in ports)
+    assert sum(p.sync_ops for p in ports) > 0
+    assert result.completed > 0
+
+
+def test_tracing_disables_fast_path():
+    cfg = scaled_config(2, 1, seed=1)
+    plex, _gen = build_loaded_sysplex(
+        cfg, options=RunOptions(tracing=True))
+    ports = list(_ports(plex))
+    assert ports and all(not p._fast for p in ports)
+
+
+# ------------------------------------------------------ kernel primitives ----
+def test_try_acquire_grants_only_when_truly_free():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    req = res.try_acquire()
+    assert req is not None and req.processed
+    assert res.try_acquire() is None  # full
+    req.cancel()
+    assert res.try_acquire() is not None
+
+
+def test_try_acquire_defers_to_waiters():
+    """A queued waiter must keep FIFO priority over opportunistic claims."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.request()
+
+    got = []
+
+    def waiter():
+        req = res.request()
+        yield req
+        got.append("waiter")
+        req.cancel()
+
+    sim.process(waiter(), name="w")
+    sim.run(until=0.1)
+    assert res.try_acquire() is None  # unit busy AND a waiter queued
+    first.cancel()
+    sim.run(until=0.2)
+    assert got == ["waiter"]
+
+
+def test_timeout_at_matches_relative_chain():
+    sim = Simulator()
+    seen = []
+
+    def p():
+        yield sim.timeout(0.25)
+        seen.append(sim.now)
+        yield sim.timeout_at(0.75, "x")
+        seen.append(sim.now)
+
+    sim.process(p(), name="p")
+    sim.run()
+    assert seen == [0.25, 0.75]
+    with pytest.raises(ValueError):
+        sim.timeout_at(sim.now - 1.0)

@@ -1,0 +1,378 @@
+"""Adversarial scenario library: pathological sysplex workloads as data.
+
+Every scenario here is a *transform* on a clean chaos-runner
+:class:`~repro.runspec.RunSpec`: it reshapes the workload, the database
+geometry, or the :class:`~repro.chaos.ChaosConfig` until one specific
+sysplex pathology — the kind §2.5/§3.3 of the paper say the design must
+survive — reliably manifests.  The transforms are pure data edits, so
+every adversary inherits the executor's determinism contract: the same
+``(name, seed)`` pair always produces the same spec (same
+``content_hash``), and re-running it reproduces the pathology
+byte-identically.
+
+The library serves two masters:
+
+* **Regression tests** (``tests/test_adversaries.py``) assert via
+  :func:`manifests` that each pathology actually shows up in the payload's
+  pathology observables — an adversary that stops biting is a failure,
+  because it means the simulator lost the mechanism that produced it.
+* **The fuzzer** (:mod:`repro.fuzz`) uses the adversary specs as corpus
+  seeds, starting its search deep inside the nasty corners of the
+  configuration space instead of at the friendly defaults.
+
+Catalog
+-------
+
+====================  ====================================================
+name                  pathology
+====================  ====================================================
+``lock_hog``          write-heavy transactions with slow log forces hold
+                      EXCL locks long enough to convoy the whole plex
+``deadlock_cycle``    SHR reads upgraded against EXCL writes on a tiny
+                      hot set force wait-for cycles the detector must
+                      break (victim aborts, not hangs)
+``hot_page_convoy``   extreme Zipf skew turns the one CF cache structure
+                      into a cross-invalidate storm (§3.3.2)
+``sick_system``       a member runs slow-but-alive; it never misses a
+                      heartbeat, so SFM never fences it — the hardest
+                      detection case (§2.5)
+``false_contention``  a coarsened lock table hashes distinct resources
+                      onto the same entries (§3.3.1's failure mode)
+``castout_laggard``   slow DASD under a write-heavy load lets the CF
+                      cache's changed-block backlog grow unboundedly
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .chaos import ChaosConfig, FaultClassConfig
+from .config import MILLI, ArmConfig, CfConfig, XcfConfig
+from .options import RunOptions
+from .runspec import RunSpec
+
+__all__ = [
+    "ADVERSARIES",
+    "adversary_spec",
+    "adversary_specs",
+    "base_spec",
+    "edit_chaos",
+    "edit_config",
+    "manifests",
+]
+
+#: Same scenario runner the chaos soak uses: its payload carries the
+#: pathology observables every :func:`manifests` predicate reads.
+CHAOS_RUNNER = "repro.experiments.exp_chaos:run_chaos_spec"
+
+
+def base_spec(
+    seed: int = 1,
+    n_systems: int = 3,
+    horizon: float = 2.5,
+    drain: float = 1.5,
+    offered_tps_per_system: float = 120.0,
+    window: float = 0.5,
+) -> RunSpec:
+    """The healthy starting point every adversary perturbs.
+
+    Mirrors :func:`repro.experiments.exp_chaos.chaos_spec` (two CFs,
+    request-level robustness, fast ARM/XCF) but arms **no** fault
+    classes — adversaries add exactly the stress they are about, nothing
+    else.  ``reconverge_fraction`` is 0 because these are deliberate
+    overload scenarios: the availability promise (throughput returns
+    after *repair*) is not the property under test, the invariants are.
+    """
+    from .experiments.common import scaled_config
+
+    config = scaled_config(
+        n_systems,
+        seed=seed,
+        n_cfs=2,
+        cf=CfConfig(request_timeout=20 * MILLI, request_retries=4),
+        arm=ArmConfig(restart_time=0.5, log_replay_time=0.3),
+        xcf=XcfConfig(heartbeat_interval=0.25),
+    )
+    chaos = ChaosConfig(start=1.0, horizon=horizon)
+    return RunSpec(
+        runner=CHAOS_RUNNER,
+        config=config,
+        options=RunOptions(
+            mode="open",
+            router_policy="wlm",
+            offered_tps_per_system=offered_tps_per_system,
+        ),
+        label=f"adv-base-seed{seed}",
+        params={
+            "chaos": chaos.to_dict(),
+            "window": window,
+            "drain": drain,
+            "grace": 3.0,
+            "check_interval": 0.1,
+            "reconverge_fraction": 0.0,
+        },
+    )
+
+
+# -- transform plumbing ------------------------------------------------------
+
+
+def edit_config(spec: RunSpec, **sections) -> RunSpec:
+    """Replace fields inside named config sections (``oltp``, ``db``, …)."""
+    cfg = spec.config
+    changed = {
+        name: dc_replace(getattr(cfg, name), **fields)
+        for name, fields in sections.items()
+    }
+    return spec.replace(config=dc_replace(cfg, **changed))
+
+
+def edit_chaos(spec: RunSpec, **changes) -> RunSpec:
+    """Replace fields of the ChaosConfig riding in ``params["chaos"]``."""
+    chaos = dc_replace(ChaosConfig.from_dict(spec.params["chaos"]), **changes)
+    params = dict(spec.params)
+    params["chaos"] = chaos.to_dict()
+    return spec.replace(params=params)
+
+
+# -- the adversaries ---------------------------------------------------------
+
+
+def lock_hog(spec: RunSpec) -> RunSpec:
+    """Long lock-shadowed commits: EXCL locks held across a slow log force.
+
+    Write-heavy transactions on a small database, with the commit log
+    force stretched to 6 ms, keep every page lock held ~5x longer than
+    the healthy workload — classic IMS-era lock convoying.  Observable:
+    global lock waits per completed transaction explode.
+    """
+    return edit_config(
+        spec,
+        oltp={"reads_per_txn": 2, "writes_per_txn": 6, "zipf_theta": 0.8},
+        db={"n_pages": 600, "log_force_io": 6 * MILLI},
+    )
+
+
+def deadlock_cycle(spec: RunSpec) -> RunSpec:
+    """Cross-phase lock-order cycles on a tiny hot set.
+
+    Transactions acquire SHR read locks first, then EXCL write locks —
+    each phase sorted, but not the union, so two transactions reading
+    what the other writes form a cycle.  150 pages shared by three
+    systems makes such overlap routine; a fast detector sweep (100 ms)
+    must break every cycle.  Observable: resolved deadlocks > 0.
+    """
+    return edit_config(
+        spec,
+        oltp={"reads_per_txn": 5, "writes_per_txn": 3, "zipf_theta": 0.7},
+        db={"n_pages": 150, "deadlock_interval": 0.1},
+    )
+
+
+def hot_page_convoy(spec: RunSpec) -> RunSpec:
+    """Cross-invalidate storm on one CF cache structure.
+
+    Zipf theta 1.2 over 800 pages concentrates the working set so every
+    commit of a hot page cross-invalidates peers' registered copies,
+    which re-read and re-register — the coherency traffic the paper's XI
+    protocol (§3.3.2) keeps off host CPUs.  Offered load is throttled so
+    commits keep flowing (the storm needs committers, and an overloaded
+    plex seizes into a pure lock convoy instead).  Observable: XI
+    signals per completed transaction, roughly double the healthy rate.
+    """
+    spec = edit_config(
+        spec,
+        oltp={"reads_per_txn": 6, "writes_per_txn": 3, "zipf_theta": 1.2},
+        db={"n_pages": 800},
+    )
+    return spec.replace(offered_tps_per_system=40.0)
+
+
+def sick_system(spec: RunSpec) -> RunSpec:
+    """Sick-but-not-dead member: degraded CPU, healthy heartbeat.
+
+    A sick fault class slows struck systems' CPUs 8x without stopping
+    them: XCF status updates keep flowing, so SFM (which only sees
+    fail-stopped members, §2.5) never fences anybody.  The long mttr
+    means nobody heals within the run, and the ``min_healthy_systems``
+    guardrail keeps at least one full-speed member as a comparison
+    baseline.  Observable: systems end the run degraded, zero partitions
+    were declared, and the sick members complete far less work than
+    their healthy peers.
+    """
+    return edit_chaos(
+        spec,
+        sick=FaultClassConfig(mtbf=1.0, mttr=30.0, max_faults=1),
+        sick_cpu_factor=8.0,
+    )
+
+
+def false_contention(spec: RunSpec) -> RunSpec:
+    """False-contention storm from a coarsened lock table.
+
+    Shrinking the lock structure from 2^20 to 64 entries hashes distinct
+    resources onto the same entry, so the CF reports contention for
+    locks nobody actually holds — exactly what §3.3.1 sizes the table to
+    avoid.  Observable: the lock structure's false-contention rate.
+    """
+    return edit_config(spec, cf={"lock_table_entries": 64})
+
+
+def castout_laggard(spec: RunSpec) -> RunSpec:
+    """Castout engine starved by slow DASD under a write-heavy load.
+
+    A third of the usual devices, each 10x slower, against a workload
+    dirtying ~8 pages per commit: changed pages accumulate in the CF
+    cache far faster than the castout engine can drain them to DASD.
+    Observable: the changed-block backlog still undrained at end of run
+    (and, if it ever saturates the structure, cache-full aborts).
+    """
+    spec = edit_config(
+        spec,
+        oltp={"reads_per_txn": 4, "writes_per_txn": 8},
+        dasd={"service_mean": 25 * MILLI},
+    )
+    return spec.replace(config=dc_replace(spec.config, n_dasd=16))
+
+
+#: name -> spec transform; iteration order is the catalog order above.
+ADVERSARIES: Dict[str, Callable[[RunSpec], RunSpec]] = {
+    "lock_hog": lock_hog,
+    "deadlock_cycle": deadlock_cycle,
+    "hot_page_convoy": hot_page_convoy,
+    "sick_system": sick_system,
+    "false_contention": false_contention,
+    "castout_laggard": castout_laggard,
+}
+
+
+def adversary_spec(name: str, seed: int = 1, **geometry) -> RunSpec:
+    """The named adversary's RunSpec for ``seed`` (deterministic).
+
+    ``geometry`` forwards to :func:`base_spec` (n_systems, horizon, …).
+    Equal ``(name, seed, geometry)`` always yields an equal
+    ``content_hash`` — that is the seed contract the tests pin.
+    """
+    try:
+        transform = ADVERSARIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ADVERSARIES))
+        raise KeyError(f"unknown adversary {name!r} (known: {known})") from None
+    spec = transform(base_spec(seed=seed, **geometry))
+    return spec.replace(label=f"adv-{name}-seed{seed}")
+
+
+def adversary_specs(
+    seed: int = 1, names: Optional[List[str]] = None, **geometry
+) -> List[RunSpec]:
+    """One spec per adversary (catalog order), all at the same seed."""
+    return [
+        adversary_spec(name, seed, **geometry)
+        for name in (names if names is not None else list(ADVERSARIES))
+    ]
+
+
+# -- manifestation predicates ------------------------------------------------
+# Thresholds sit between the healthy baseline and the adversarial
+# measurement with margin on both sides, so they detect "the mechanism
+# disappeared" without flaking on simulator tuning.  Runs are seeded and
+# byte-deterministic, so any threshold crossing is a real change.
+
+#: lock_hog: global lock waits per completed transaction (healthy ~0.05,
+#: adversarial ~2.8).
+LOCK_HOG_WAITS_PER_TXN = 0.5
+#: deadlock_cycle: resolved deadlocks over the whole run (healthy ~1,
+#: adversarial hundreds).
+DEADLOCK_MIN = 10
+#: hot_page_convoy: cross-invalidate signals per completed transaction
+#: (healthy ~2.5, adversarial ~4.5-5.6 across seeds).
+CONVOY_XI_PER_TXN = 3.5
+#: sick_system: a sick member completes under this fraction of the
+#: healthiest member's work (adversarial ~0.3-0.56 across seeds).
+SICK_COMPLETION_RATIO = 0.7
+#: false_contention: false-contention fraction of CF lock requests
+#: (healthy ~0, adversarial ~0.2).
+FALSE_CONTENTION_RATE = 0.05
+#: castout_laggard: changed blocks still undrained at end of run
+#: (healthy ~40, adversarial ~700).
+CASTOUT_BACKLOG_MIN = 300
+
+
+def _waits_per_txn(payload: dict) -> Tuple[bool, str]:
+    p = payload["summary"]["pathology"]
+    rate = p["lock_waits"] / max(1, payload["summary"]["completed"])
+    ok = rate > LOCK_HOG_WAITS_PER_TXN
+    return ok, f"lock waits/txn {rate:.2f} (need > {LOCK_HOG_WAITS_PER_TXN})"
+
+
+def _deadlocks(payload: dict) -> Tuple[bool, str]:
+    n = payload["summary"]["pathology"]["deadlocks"]
+    return n >= DEADLOCK_MIN, f"deadlocks {n} (need >= {DEADLOCK_MIN})"
+
+
+def _xi_per_txn(payload: dict) -> Tuple[bool, str]:
+    p = payload["summary"]["pathology"]
+    rate = p.get("xi_signals", 0) / max(1, payload["summary"]["completed"])
+    ok = rate > CONVOY_XI_PER_TXN
+    return ok, f"XI signals/txn {rate:.2f} (need > {CONVOY_XI_PER_TXN})"
+
+
+def _sick_skew(payload: dict) -> Tuple[bool, str]:
+    p = payload["summary"]["pathology"]
+    sick = p.get("sick_names", [])
+    if not sick:
+        return False, "no system ended the run sick"
+    if p["partitioned"] != 0:
+        return False, f"{p['partitioned']} partition(s): the plex fenced it"
+    per = p["per_system_completed"]
+    healthy = [v for k, v in per.items() if k not in sick]
+    if not healthy:
+        return False, "every system went sick: no healthy peer to compare"
+    worst = min(per[k] for k in sick)
+    best = max(healthy)
+    ok = worst < SICK_COMPLETION_RATIO * best
+    detail = (
+        f"sick member completed {worst} vs healthy {best} "
+        f"(need < {SICK_COMPLETION_RATIO:.0%})"
+    )
+    return ok, detail
+
+
+def _false_contention_rate(payload: dict) -> Tuple[bool, str]:
+    p = payload["summary"]["pathology"]
+    rate = p.get("false_contention_rate", 0.0)
+    ok = rate > FALSE_CONTENTION_RATE
+    return ok, f"false-contention rate {rate:.3f} (need > {FALSE_CONTENTION_RATE})"
+
+
+def _castout_backlog(payload: dict) -> Tuple[bool, str]:
+    p = payload["summary"]["pathology"]
+    backlog = p.get("castout_backlog", 0)
+    ok = backlog > CASTOUT_BACKLOG_MIN
+    return ok, f"castout backlog {backlog} blocks (need > {CASTOUT_BACKLOG_MIN})"
+
+
+_MANIFESTS: Dict[str, Callable[[dict], Tuple[bool, str]]] = {
+    "lock_hog": _waits_per_txn,
+    "deadlock_cycle": _deadlocks,
+    "hot_page_convoy": _xi_per_txn,
+    "sick_system": _sick_skew,
+    "false_contention": _false_contention_rate,
+    "castout_laggard": _castout_backlog,
+}
+
+
+def manifests(name: str, payload: dict) -> Tuple[bool, str]:
+    """Did ``name``'s pathology show up in this chaos-runner payload?
+
+    Returns ``(ok, detail)`` with the measured value and its threshold —
+    the detail string is what the regression test prints on failure.
+    """
+    try:
+        check = _MANIFESTS[name]
+    except KeyError:
+        known = ", ".join(sorted(_MANIFESTS))
+        raise KeyError(f"unknown adversary {name!r} (known: {known})") from None
+    return check(payload)

@@ -66,10 +66,22 @@ class ChaosConfig:
     cfs: Optional[FaultClassConfig] = None
     links: Optional[FaultClassConfig] = None
     dasd: Optional[FaultClassConfig] = None
+    #: Sick-but-not-dead fault process: a "failure" degrades the system's
+    #: CPU complex by :attr:`sick_cpu_factor` instead of killing it, and
+    #: the "repair" restores full speed.  The system never stops
+    #: heartbeating and is never declared failed — the hardest case for
+    #: SFM, which only sees fail-stopped members (paper §2.5).
+    sick: Optional[FaultClassConfig] = None
+    #: CPU slowdown multiplier applied while a system is sick.
+    sick_cpu_factor: float = 4.0
     #: Guardrails: never take a fault that would leave fewer live
     #: systems / CFs than these floors (the suppressed event is logged).
     min_live_systems: int = 1
     min_live_cfs: int = 1
+    #: Sick-class guardrail: never degrade a system if that would leave
+    #: fewer than this many live *and* full-speed members — a fully sick
+    #: plex has no healthy baseline left to measure the pathology against.
+    min_healthy_systems: int = 1
 
     def to_dict(self) -> dict:
         """JSON-ready view (nested class configs as dicts or ``None``)."""
@@ -78,7 +90,7 @@ class ChaosConfig:
     @classmethod
     def from_dict(cls, data: dict) -> "ChaosConfig":
         kw = dict(data)
-        for name in ("systems", "cfs", "links", "dasd"):
+        for name in ("systems", "cfs", "links", "dasd", "sick"):
             if isinstance(kw.get(name), dict):
                 kw[name] = FaultClassConfig(**kw[name])
         return cls(**kw)
@@ -137,6 +149,21 @@ class ChaosEngine:
                     fail_action=lambda n=node: n.fail(),
                     repair_guard=lambda n=node: not n.alive,
                     repair_action=lambda n=node: n.restart(),
+                )
+        if cfg.sick is not None:
+            rng = plex.streams.stream("chaos.sick")
+            for node in plex.nodes:
+                self._sample_component(
+                    rng, cfg.sick,
+                    fail_label=f"sick:{node.name}",
+                    repair_label=f"heal:{node.name}",
+                    fail_guard=lambda n=node: n.alive
+                    and not n.cpu.degraded
+                    and self._healthy_systems() > cfg.min_healthy_systems,
+                    fail_action=lambda n=node:
+                    n.cpu.degrade(cfg.sick_cpu_factor),
+                    repair_guard=lambda n=node: n.alive and n.cpu.degraded,
+                    repair_action=lambda n=node: n.cpu.recover(),
                 )
         if cfg.cfs is not None:
             rng = plex.streams.stream("chaos.cfs")
@@ -229,6 +256,11 @@ class ChaosEngine:
 
     def _live_cfs(self) -> int:
         return sum(1 for cf in self.plex.cfs if not cf.failed)
+
+    def _healthy_systems(self) -> int:
+        return sum(
+            1 for n in self.plex.nodes if n.alive and not n.cpu.degraded
+        )
 
 
 def summarize_schedule(rows: List[list]) -> dict:

@@ -95,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk result cache",
     )
     parser.add_argument(
+        "--expect-no-misses", action="store_true",
+        help="exit nonzero if any sweep missed the result cache (CI "
+        "warm-cache assertion; requires the cache to be enabled)",
+    )
+    parser.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
@@ -136,6 +141,9 @@ def main(argv=None) -> None:
         args.jobs, args.no_cache = 1, True
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.expect_no_misses and cache is None:
+        raise SystemExit("--expect-no-misses needs the cache "
+                         "(drop --no-cache)")
     common.set_execution(jobs=jobs, cache=cache, csv_dir=args.csv_dir,
                          progress=True)
 
@@ -178,6 +186,12 @@ def main(argv=None) -> None:
     if cache is not None:
         line += f", cache {cache.hits} hits / {cache.misses} misses"
     print(line + ")")
+    if args.expect_no_misses and cache is not None and cache.misses:
+        raise SystemExit(
+            f"--expect-no-misses: cache missed {cache.misses} time(s) — "
+            "a re-run with identical specs should replay entirely from "
+            "the cache"
+        )
 
 
 if __name__ == "__main__":

@@ -157,6 +157,7 @@ def run_chaos_spec(spec: RunSpec) -> Dict:
 
     ports = _live_ports(plex)
     summary = {
+        "pathology": _pathology_observables(plex),
         "generated": gen.generated,
         "completed": counter.count,
         "failed": failed_counter.count,
@@ -181,6 +182,49 @@ def run_chaos_spec(spec: RunSpec) -> Dict:
         "invariants": report,
         "summary": summary,
     }
+
+
+def _pathology_observables(plex) -> Dict:
+    """Quantified sysplex pathologies, read from the live plex at end of run.
+
+    These are the observables the adversarial scenario library asserts
+    against and the fuzzer's coverage map buckets: lock convoys show up as
+    waits/deadlocks, coarse hashing as false contention, coherency storms
+    as cross-invalidate signals, and castout laggards as an undrained
+    changed-block backlog.  Structure counters reflect the *current*
+    structure (a rebuild starts them fresh); per-system completions count
+    the current incarnation of each instance.
+    """
+    from ..sysplex import CACHE_STRUCTURE, LOCK_STRUCTURE
+
+    lock = plex.xes.find(LOCK_STRUCTURE) if plex.cfs else None
+    cache = plex.xes.find(CACHE_STRUCTURE) if plex.cfs else None
+    rt = plex.metrics.tally("txn.response")
+    p50, p95, p99 = rt.percentiles((50, 95, 99))
+    out = {
+        "lock_waits": plex.lock_space.waits,
+        "deadlocks": plex.lock_space.deadlocks,
+        "retained_locks": len(plex.lock_space.retained),
+        "partitioned": plex.metrics.counter("failures.partitioned").count,
+        "cache_full": plex.metrics.counter("txn.cache_full").count,
+        "response_p50": p50,
+        "response_p95": p95,
+        "response_p99": p99,
+        "sick_systems": sum(1 for n in plex.nodes if n.cpu.degraded),
+        "sick_names": sorted(n.name for n in plex.nodes if n.cpu.degraded),
+        "per_system_completed": {
+            name: inst.tm.completed for name, inst in plex.instances.items()
+        },
+    }
+    if lock is not None:
+        out["false_contention_rate"] = lock.false_contention_rate()
+        out["cf_lock_requests"] = lock.requests
+    if cache is not None:
+        out["xi_signals"] = cache.xi_signals
+        out["cache_reclaims"] = cache.reclaims
+        out["castouts"] = cache.castouts
+        out["castout_backlog"] = len(cache._changed)
+    return out
 
 
 def _live_ports(plex) -> List:

@@ -34,6 +34,11 @@ class CpuComplex:
         self._speed = config.speed
         self.busy_seconds = 0.0  # inflated engine-seconds actually burned
         self.offline = False
+        #: >1.0 while the complex is degraded ("sick but not dead"): every
+        #: CPU-second takes ``sick_factor`` times longer, but the system
+        #: stays alive, heartbeats, and keeps accepting work — the hard
+        #: SFM case where nothing ever trips the failure detector.
+        self.sick_factor = 1.0
 
     # -- core consumption ---------------------------------------------------
     def consume(self, cpu_seconds: float, priority: int = NORMAL) -> Generator:
@@ -69,6 +74,30 @@ class CpuComplex:
             yield self.sim.timeout(duration)
         finally:
             req.cancel()
+
+    # -- degradation (sick but not dead) -------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Slow every engine by ``factor`` without taking the system down.
+
+        Models a sick-but-not-dead system: thermal throttling, a failing
+        memory card driving recovery loops, a runaway monitor — the image
+        is alive (heartbeats go out, work is accepted) but everything on
+        it runs ``factor`` times slower.  Repeated calls replace, not
+        stack, the factor; :meth:`recover` restores full speed.
+        """
+        if factor < 1.0:
+            raise ValueError("degrade factor must be >= 1.0")
+        self.sick_factor = factor
+        self._speed = self.config.speed / factor
+
+    def recover(self) -> None:
+        """End a degradation: engines run at configured speed again."""
+        self.sick_factor = 1.0
+        self._speed = self.config.speed
+
+    @property
+    def degraded(self) -> bool:
+        return self.sick_factor != 1.0
 
     def purge_queued(self) -> int:
         """Machine check: dispatchable work queued for an engine dies.

@@ -76,6 +76,12 @@ class InvariantChecker:
         self.interval = interval
         self.violations: List[Violation] = []
         self.scans = 0
+        #: which decision branches the scans actually exercised, as
+        #: ``branch-name -> hit count``.  This is *coverage*, not
+        #: correctness: the fuzzer's feature map reads it to know whether
+        #: a mutated scenario drove the checker somewhere new (e.g. into
+        #: the retained-lock excusal paths) even when no violation fired.
+        self.branches: Dict[str, int] = {}
         #: dedup: one report per (name, detail-key) so a persistent bad
         #: state doesn't flood the report every scan tick
         self._seen: set = set()
@@ -84,6 +90,9 @@ class InvariantChecker:
         self.sim.process(self._loop(), name="invariant-checker")
 
     # -- recording ---------------------------------------------------------
+    def _branch(self, name: str) -> None:
+        self.branches[name] = self.branches.get(name, 0) + 1
+
     def _record(self, name: str, detail: str, key: Optional[str] = None) -> None:
         dedup = (name, key if key is not None else detail)
         if dedup in self._seen:
@@ -101,6 +110,7 @@ class InvariantChecker:
             "ok": self.ok,
             "scans": self.scans,
             "finalized": self._finalized,
+            "branches": {k: self.branches[k] for k in sorted(self.branches)},
             "violations": [v.to_dict() for v in self.violations],
         }
 
@@ -123,7 +133,9 @@ class InvariantChecker:
             holders = res.holders
             if len(holders) < 2:
                 continue
+            self._branch("lock-safety:multi-holder")
             if any(m == LockMode.EXCL for m in holders.values()):
+                self._branch("lock-safety:violation")
                 self._record(
                     "lock-safety",
                     f"resource {name!r} held {dict(holders)!r}",
@@ -139,6 +151,7 @@ class InvariantChecker:
         """
         for sys_name, inst in self.plex.instances.items():
             if inst.db.commits < inst.tm.completed:
+                self._branch("commit-durability:violation")
                 self._record(
                     "commit-durability",
                     f"{sys_name}: {inst.tm.completed} completed but only "
@@ -161,7 +174,10 @@ class InvariantChecker:
     def _check_conservation(self) -> None:
         """No transaction is double-counted or silently dropped."""
         c = self._counts()
+        if c["lost"] > 0:
+            self._branch("conservation:lost-work")
         if c["completed"] + c["failed"] > c["submitted"]:
+            self._branch("conservation:outcomes-violation")
             self._record(
                 "conservation",
                 f"completed {c['completed']} + failed {c['failed']} "
@@ -169,6 +185,7 @@ class InvariantChecker:
                 key="outcomes>submitted",
             )
         if c["generated"] >= 0 and c["submitted"] + c["lost"] > c["generated"]:
+            self._branch("conservation:generated-violation")
             self._record(
                 "conservation",
                 f"submitted {c['submitted']} + lost {c['lost']} "
@@ -198,7 +215,12 @@ class InvariantChecker:
             1 for _t, label in self.plex.degraded_events
             if label.startswith("rebuild-abandoned")
         )
+        if started:
+            self._branch("rebuild:started")
+        if abandoned:
+            self._branch("rebuild:abandoned")
         if started != finished + abandoned:
+            self._branch("rebuild:hung-violation")
             self._record(
                 "rebuild-termination",
                 f"{started} rebuilds started, {finished} finished, "
@@ -211,15 +233,18 @@ class InvariantChecker:
         """Retained locks don't linger once recovery had time to run."""
         retained = self.plex.lock_space.retained
         if not retained:
+            self._branch("retained:none")
             return
         live = [i for i in self.plex.instances.values()
                 if i.node.alive and i.db.alive]
         if not live:
+            self._branch("retained:no-live-recoverer")
             return  # nobody left to run peer recovery: excused
         last_event = max(
             (t for t, _label in self.plex.injector.log), default=0.0
         )
         if self.sim.now - last_event < grace:
+            self._branch("retained:within-grace")
             return  # the last fault is recent: recovery may still be running
         owners = sorted({s for s, _m in retained.values()})
         failed_recoveries = {
@@ -229,7 +254,9 @@ class InvariantChecker:
         }
         owners = [s for s in owners if s not in failed_recoveries]
         if not owners:
+            self._branch("retained:recovery-failed-excused")
             return  # recovery itself failed (recorded degraded outcome)
+        self._branch("retained:stuck-violation")
         retained = {r: e for r, e in retained.items() if e[0] in set(owners)}
         self._record(
             "retained-locks",

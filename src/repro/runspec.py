@@ -53,7 +53,11 @@ __all__ = [
 #: field) changes, so stale ``.runcache`` entries can never be replayed
 #: against a new schema.  v2: drive parameters moved from loose spec
 #: fields into a nested :class:`~repro.options.RunOptions` bundle.
-SCHEMA_VERSION = 2
+#: v3: :class:`~repro.chaos.ChaosConfig` gained the sick-system fault
+#: class, and the chaos runner's payload carries pathology observables
+#: plus invariant branch coverage (see ``repro.adversaries`` /
+#: ``repro.fuzz``).
+SCHEMA_VERSION = 3
 
 #: Short names for the built-in runners.
 RUNNER_ALIASES: Dict[str, str] = {
@@ -172,6 +176,32 @@ class RunSpec:
         if flat:
             kw["options"] = kw.get("options", RunOptions()).replace(**flat)
         return cls(**kw)
+
+    def to_json(self) -> str:
+        """This spec as a standalone, human-diffable repro file.
+
+        The schema version travels with the spec so a saved repro (e.g. a
+        shrunk fuzz finding) refuses to replay against an incompatible
+        spec format instead of silently meaning something else.
+        """
+        return json.dumps(
+            {"schema": SCHEMA_VERSION, "spec": self.to_dict()},
+            indent=2, sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Rebuild a spec saved by :meth:`to_json` (or a bare spec dict)."""
+        data = json.loads(text)
+        if "spec" in data and "config" not in data:
+            schema = data.get("schema")
+            if schema != SCHEMA_VERSION:
+                raise ValueError(
+                    f"spec file has schema {schema!r}, this build expects "
+                    f"{SCHEMA_VERSION}"
+                )
+            data = data["spec"]
+        return cls.from_dict(data)
 
     def replace(self, **changes) -> "RunSpec":
         """A copy with ``changes`` applied (frozen-dataclass friendly).

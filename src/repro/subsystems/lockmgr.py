@@ -566,7 +566,10 @@ class DeadlockDetector:
         def dfs(u) -> Optional[List[object]]:
             color[u] = GRAY
             stack.append(u)
-            for v in graph.get(u, ()):  # only follow waiters' edges
+            # sorted: edge sets iterate in hash order, which varies with
+            # PYTHONHASHSEED across interpreter invocations — the cycle
+            # (and so the victim) must not depend on it
+            for v in sorted(graph.get(u, ()), key=repr):
                 if color.get(v, WHITE) == GRAY:
                     return stack[stack.index(v):]
                 if color.get(v, WHITE) == WHITE and v in graph:

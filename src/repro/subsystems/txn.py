@@ -22,6 +22,7 @@ from typing import Dict, Generator, List, Optional
 
 import numpy as np
 
+from ..cf.cache import CacheFullError
 from ..cf.commands import CfRequestTimeout
 from ..cf.facility import CfFailedError
 from ..cf.list import ListEntry
@@ -130,6 +131,15 @@ class TransactionManager:
                         yield from self.db.abort(txn.txn_id)
                         yield self.sim.timeout(
                             float(self.rng.exponential(RETRY_BACKOFF))
+                        )
+                    except CacheFullError:
+                        # castout has fallen behind and the CF rejected a
+                        # changed-data write (GBP-full): abort, give the
+                        # castout engine a long beat to drain, and retry
+                        self.metrics.counter("txn.cache_full").add()
+                        yield from self.db.abort(txn.txn_id)
+                        yield self.sim.timeout(
+                            float(self.rng.exponential(10 * RETRY_BACKOFF))
                         )
                     except RetainedLockReject:
                         # data protected by a failed peer's retained lock:

@@ -1,0 +1,104 @@
+"""Adversary library: manifestation, seed contract, sick guardrail."""
+
+import pytest
+
+from repro import ChaosConfig, ChaosEngine, FaultClassConfig, RunOptions
+from repro.adversaries import (
+    ADVERSARIES,
+    adversary_spec,
+    adversary_specs,
+    base_spec,
+    manifests,
+)
+from repro.config import DatabaseConfig, SysplexConfig
+from repro.runner import build_loaded_sysplex
+
+
+# ------------------------------------------------ manifestation ----
+@pytest.mark.parametrize("name", list(ADVERSARIES))
+def test_adversary_manifests(name):
+    payload = adversary_spec(name, seed=1).run()
+    ok, detail = manifests(name, payload)
+    assert ok, f"{name} no longer manifests: {detail}"
+    # an adversary stresses the plex; it must never break correctness
+    assert payload["invariants"]["ok"], payload["invariants"]["violations"]
+
+
+def test_healthy_base_manifests_nothing():
+    # the thresholds discriminate: the unperturbed base spec crosses none
+    payload = base_spec(seed=1).run()
+    assert payload["invariants"]["ok"]
+    for name in ADVERSARIES:
+        ok, detail = manifests(name, payload)
+        assert not ok, f"healthy base trips {name}: {detail}"
+
+
+# ------------------------------------------------ seed contract ----
+def test_same_name_and_seed_same_hash():
+    for name in ADVERSARIES:
+        a = adversary_spec(name, seed=3)
+        assert a.content_hash() == adversary_spec(name, seed=3).content_hash()
+        assert a.content_hash() != adversary_spec(name, seed=4).content_hash()
+
+
+def test_catalog_specs_distinct_and_labeled():
+    specs = adversary_specs(seed=1)
+    assert [s.label for s in specs] == [f"adv-{n}-seed1" for n in ADVERSARIES]
+    assert len({s.content_hash() for s in specs}) == len(specs)
+
+
+def test_geometry_forwards_to_base_spec():
+    spec = adversary_spec("lock_hog", seed=2, n_systems=2, horizon=1.0)
+    assert spec.config.n_systems == 2
+    assert spec.params["chaos"]["horizon"] == 1.0
+
+
+def test_unknown_adversary_raises():
+    with pytest.raises(KeyError, match="unknown adversary"):
+        adversary_spec("nope")
+    with pytest.raises(KeyError, match="unknown adversary"):
+        manifests("nope", {})
+
+
+# ------------------------------------------------ sick guardrail ----
+def _quiet_plex(n=3, seed=5):
+    cfg = SysplexConfig(
+        n_systems=n,
+        seed=seed,
+        db=DatabaseConfig(n_pages=8_000, buffer_pages=3_000),
+    )
+    plex, _ = build_loaded_sysplex(cfg, options=RunOptions(terminals_per_system=0))
+    return plex
+
+
+def test_min_healthy_systems_floor_suppresses_sickness():
+    # floor == n_systems: every sampled sick event must be skipped
+    cfg = ChaosConfig(
+        start=0.0,
+        horizon=2.0,
+        sick=FaultClassConfig(mtbf=0.2, mttr=30.0, max_faults=2),
+        min_healthy_systems=3,
+    )
+    plex = _quiet_plex()
+    eng = ChaosEngine(plex, cfg)
+    assert any(r[1].startswith("sick") for r in eng.schedule_rows())
+    eng.arm()
+    plex.sim.run(until=2.0)
+    assert all(not n.cpu.degraded for n in plex.nodes)
+    labels = [label for _, label in plex.injector.log_events()]
+    assert any(label.startswith("chaos-skip:sick") for label in labels)
+
+
+def test_min_healthy_floor_keeps_one_full_speed_member():
+    # default floor of 1: sickness spreads, but never to the whole plex
+    cfg = ChaosConfig(
+        start=0.0,
+        horizon=2.0,
+        sick=FaultClassConfig(mtbf=0.1, mttr=30.0, max_faults=3),
+    )
+    plex = _quiet_plex()
+    ChaosEngine(plex, cfg).arm()
+    plex.sim.run(until=2.0)
+    assert sum(1 for n in plex.nodes if n.cpu.degraded) >= 1
+    healthy = sum(1 for n in plex.nodes if n.alive and not n.cpu.degraded)
+    assert healthy >= 1

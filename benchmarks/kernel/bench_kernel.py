@@ -13,11 +13,14 @@ Run:
     PYTHONPATH=src python benchmarks/kernel/bench_kernel.py
     PYTHONPATH=src python benchmarks/kernel/bench_kernel.py \
         --out BENCH_kernel.json --check benchmarks/kernel/baseline.json
+    PYTHONPATH=src python benchmarks/kernel/bench_kernel.py \
+        --scheduler calendar --out BENCH_kernel_calendar.json
 
 ``--check`` compares against committed baseline wall times and fails
 (exit 1) when a gated benchmark regresses beyond its tolerance; CI runs
-it on every push (see the ``kernel-bench`` job).  ``--update-baseline``
-rewrites the baseline file from this machine's numbers.
+it on every push under both scheduler backends (see the
+``kernel-bench`` job).  ``--update-baseline`` rewrites the baseline
+file from this machine's numbers.
 """
 
 from __future__ import annotations
@@ -33,30 +36,46 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
 
 from repro.simkernel import Resource, Simulator  # noqa: E402
+from repro.simkernel.core import (  # noqa: E402
+    CalendarScheduler,
+    HeapScheduler,
+    SCHEDULERS,
+)
 
 #: Bumped when benchmark workloads change, so stale baselines and
 #: BENCH_kernel.json artifacts cannot be compared across definitions.
-SCHEMA_VERSION = 1
+#: v2: pluggable-scheduler refactor — every workload takes a
+#: ``scheduler`` backend, ``scheduler_churn`` added, and ``fig3_quick``
+#: runs under the new sweep-profile default (collapsed events).
+SCHEMA_VERSION = 2
 
 #: Regression gates: fraction of slowdown vs. baseline that fails the
 #: check.  Only the pure-kernel benchmarks gate CI (the end-to-end point
 #: has real model variance on shared runners, so it is report-only).
+#: Each scheduler backend gates against its own baseline file (the
+#: ``scheduler`` field must match or the gate is skipped): the calendar
+#: queue is at parity with heapq at model queue depths, but its
+#: constant bucket costs are visible on micro shapes like
+#: ``timeout_storm`` that never hold more than a couple of events.
 GATES = {
     "event_churn": 0.25,
     "timeout_storm": 0.25,
     "resource_contention": 0.25,
+    "scheduler_churn": 0.25,
 }
 
 
 # -- workloads --------------------------------------------------------------
 
-def bench_event_churn(n_processes: int = 200, n_rounds: int = 500) -> dict:
+def bench_event_churn(n_processes: int = 200, n_rounds: int = 500,
+                      scheduler: str = "heap") -> dict:
     """Ping-pong event churn: processes waiting on each other's events.
 
-    Exercises the dominant kernel cycle — event trigger, heap push/pop,
-    callback dispatch, process resume — with no model code at all.
+    Exercises the dominant kernel cycle — event trigger, calendar
+    push/pop, callback dispatch, process resume — with no model code at
+    all.
     """
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
     events = 0
 
     def churner(i: int):
@@ -77,9 +96,10 @@ def bench_event_churn(n_processes: int = 200, n_rounds: int = 500) -> dict:
             "events_per_sec": events / seconds}
 
 
-def bench_timeout_storm(n_timeouts: int = 300_000) -> dict:
+def bench_timeout_storm(n_timeouts: int = 300_000,
+                        scheduler: str = "heap") -> dict:
     """Raw calendar stress: a flood of timeouts at interleaving times."""
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
     fired = 0
 
     def storm():
@@ -98,9 +118,10 @@ def bench_timeout_storm(n_timeouts: int = 300_000) -> dict:
 
 
 def bench_resource_contention(n_tasks: int = 400, n_acquires: int = 250,
-                              capacity: int = 8) -> dict:
+                              capacity: int = 8,
+                              scheduler: str = "heap") -> dict:
     """Resource dispatch under heavy queueing (CPU-engine contention)."""
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
     engines = Resource(sim, capacity=capacity)
     grants = 0
 
@@ -122,17 +143,80 @@ def bench_resource_contention(n_tasks: int = 400, n_acquires: int = 250,
             "events_per_sec": grants / seconds}
 
 
-def bench_fig3_quick() -> dict:
+def bench_scheduler_churn(n_items: int = 120_000,
+                          scheduler: str = "heap") -> dict:
+    """Pluggable-scheduler A/B: one schedule drained by both backends.
+
+    Pure data-structure churn through the :class:`Scheduler` interface —
+    no Simulator, no model code — on a sweep-shaped mix of horizons:
+    bands of exact same-instant collisions (collapsed cascades), short
+    service times, and sparse long timers, with half the items injected
+    mid-drain at the popped instant the way triggered events arrive.
+    Reports both backends side by side so the calendar queue's parity
+    with the C-accelerated heapq is visible in every artifact; the gated
+    ``seconds`` is whichever backend ``--scheduler`` selected.
+    """
+
+    def make_schedule():
+        # deterministic LCG so both backends drain the identical schedule
+        state = 12345
+        items = []
+        for seq in range(n_items):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            r = state / float(1 << 31)
+            if r < 0.6:
+                when = (seq // 8) * 1e-5   # same-instant cascade bands
+            elif r < 0.9:
+                when = r * 1e-3            # short service times
+            else:
+                when = r * 10.0            # long timers
+            items.append((when, seq & 1, seq, None))
+        return items
+
+    inf = float("inf")
+    results = {}
+    for name, factory in (("heap", HeapScheduler),
+                          ("calendar", CalendarScheduler)):
+        sched = factory()
+        items = make_schedule()
+        half = n_items // 2
+        feed = items[half:]
+        seq = n_items
+        t0 = time.perf_counter()
+        for item in items[:half]:
+            sched.push(item)
+        while True:
+            popped = sched.pop_until(inf)
+            if popped is None:
+                break
+            if feed:
+                when, prio, _s, payload = feed.pop()
+                seq += 1
+                sched.push((max(when, popped[0]), prio, seq, payload))
+        results[name] = time.perf_counter() - t0
+
+    seconds = results[scheduler]
+    return {"seconds": seconds, "events": n_items,
+            "events_per_sec": n_items / seconds,
+            "heap_seconds": results["heap"],
+            "calendar_seconds": results["calendar"],
+            "calendar_vs_heap": results["calendar"] / results["heap"]}
+
+
+def bench_fig3_quick(scheduler: str = "heap") -> dict:
     """End-to-end integrated point: one Figure-3 quick run (4-way plex).
 
     The kernel share of this number is what the micro-benchmarks above
     isolate; reported (not gated) so kernel wins show up end to end.
+    Runs under the default sweep profile (collapsed events) with only
+    the scheduler backend pinned by ``--scheduler``.
     """
     from repro import RunOptions, run
     from repro.experiments.common import QUICK, scaled_config
 
     t0 = time.perf_counter()
-    result = run(scaled_config(4, 1, seed=1), options=RunOptions(),
+    result = run(scaled_config(4, 1, seed=1),
+                 options=RunOptions(scheduler=scheduler),
                  duration=QUICK["duration"], warmup=QUICK["warmup"],
                  label="kernel-bench-fig3")
     seconds = time.perf_counter() - t0
@@ -145,13 +229,15 @@ BENCHMARKS = {
     "event_churn": bench_event_churn,
     "timeout_storm": bench_timeout_storm,
     "resource_contention": bench_resource_contention,
+    "scheduler_churn": bench_scheduler_churn,
     "fig3_quick": bench_fig3_quick,
 }
 
 
 # -- harness ----------------------------------------------------------------
 
-def run_benchmarks(repeat: int = 3, only=None) -> dict:
+def run_benchmarks(repeat: int = 3, only=None,
+                   scheduler: str = "heap") -> dict:
     """Run each benchmark ``repeat`` times; keep the fastest round.
 
     Min-of-N is the stable statistic for wall-clock microbenchmarks: noise
@@ -163,7 +249,7 @@ def run_benchmarks(repeat: int = 3, only=None) -> dict:
             continue
         best = None
         for _ in range(repeat):
-            sample = fn()
+            sample = fn(scheduler=scheduler)
             if best is None or sample["seconds"] < best["seconds"]:
                 best = sample
         best["rounds"] = repeat
@@ -203,15 +289,23 @@ def main(argv=None) -> int:
                     help="rounds per benchmark; fastest round is kept")
     ap.add_argument("--only", nargs="*", default=None,
                     help=f"subset of benchmarks ({', '.join(BENCHMARKS)})")
+    ap.add_argument("--scheduler", choices=sorted(SCHEDULERS),
+                    default="heap",
+                    help="calendar backend every workload runs under "
+                    "(default: heap); gate against the matching "
+                    "baseline file — baseline.json for heap, "
+                    "baseline_calendar.json for calendar")
     args = ap.parse_args(argv)
 
-    print("simkernel microbenchmarks (best of "
-          f"{args.repeat} rounds):")
-    results = run_benchmarks(repeat=args.repeat, only=args.only)
+    print(f"simkernel microbenchmarks (best of {args.repeat} rounds, "
+          f"scheduler={args.scheduler}):")
+    results = run_benchmarks(repeat=args.repeat, only=args.only,
+                             scheduler=args.scheduler)
     doc = {
         "schema": SCHEMA_VERSION,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
+        "scheduler": args.scheduler,
         "benchmarks": results,
     }
     args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -227,6 +321,11 @@ def main(argv=None) -> int:
         if baseline.get("schema") != SCHEMA_VERSION:
             print(f"baseline schema {baseline.get('schema')} != "
                   f"{SCHEMA_VERSION}; skipping gate (update the baseline)")
+            return 0
+        if baseline.get("scheduler", "heap") != args.scheduler:
+            print(f"baseline scheduler {baseline.get('scheduler', 'heap')!r} "
+                  f"!= {args.scheduler!r}; skipping gate (each backend "
+                  "gates against its own baseline file)")
             return 0
         problems = check_baseline(results, baseline)
         if problems:

@@ -44,7 +44,10 @@ from repro.experiments.common import QUICK, scaled_config  # noqa: E402
 
 #: Bumped when benchmark workloads change, so stale baselines and
 #: BENCH_macro.json artifacts cannot be compared across definitions.
-SCHEMA_VERSION = 1
+#: v2: points run under the new default sweep profile (calendar-queue
+#: scheduler + collapsed events), so wall times and events/txn dropped
+#: a definition step, not a perf step.
+SCHEMA_VERSION = 2
 
 #: Wall-time regression gates: fraction of slowdown vs. baseline that
 #: fails the check.  Generous because shared CI runners are noisy; the

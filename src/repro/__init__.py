@@ -58,7 +58,7 @@ from .trace_analysis import (
     format_attribution,
 )
 
-__version__ = "1.3.0"
+__version__ = "2.0.0"
 
 
 def run(spec_or_config: Union[RunSpec, SysplexConfig],

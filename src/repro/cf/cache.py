@@ -168,21 +168,85 @@ class CacheStructure(Structure):
             self._changed[name] = None
             self._changed.move_to_end(name)
 
+        # XI fan-out, flattened: every signal of one write leaves at the
+        # same instant, so the facility's clock read, latency sum, and
+        # method lookups are hoisted out of the loop.  Each signal still
+        # schedules its own delivery event with the same target time the
+        # per-signal ``facility.signal`` calls produced — byte-identical,
+        # just without re-deriving the constants per registrant.
         n = 0
-        for cid, bit in list(entry.registrants.items()):
-            if cid == conn.conn_id:
-                continue  # the writer's own copy is the current one
-            vector = self.vectors.get(cid)
-            del entry.registrants[cid]
-            entry.seen.pop(cid, None)
-            if vector is not None and self.facility is not None:
-                self.facility.signal(lambda v=vector, b=bit: v.invalidate(b))
-                n += 1
-            elif vector is not None:
-                vector.invalidate(bit)
-                n += 1
+        my = conn.conn_id
+        vectors = self.vectors
+        seen = entry.seen
+        fac = self.facility
+        if fac is not None:
+            sim = fac.sim
+            deliver_at = sim.now + fac.config.signal_latency
+            call_at = sim.call_at
+            for cid, bit in list(entry.registrants.items()):
+                if cid == my:
+                    continue  # the writer's own copy is the current one
+                vector = vectors.get(cid)
+                del entry.registrants[cid]
+                seen.pop(cid, None)
+                if vector is not None:
+                    fac.signals_sent += 1
+                    call_at(deliver_at,
+                            lambda v=vector, b=bit: v.invalidate(b))
+                    n += 1
+        else:
+            for cid, bit in list(entry.registrants.items()):
+                if cid == my:
+                    continue
+                vector = vectors.get(cid)
+                del entry.registrants[cid]
+                seen.pop(cid, None)
+                if vector is not None:
+                    vector.invalidate(bit)
+                    n += 1
         self.xi_signals += n
         return n
+
+    def prewarm_many(self, conn: Connector, pairs) -> None:
+        """Bulk :meth:`register_and_read` for benchmark prewarm.
+
+        ``pairs`` is an iterable of ``(name, bit_index)``.  Produces the
+        exact final state and statistics of calling
+        :meth:`register_and_read` once per pair (the returned hit/miss
+        tuples are what prewarm discards anyway), with the per-call
+        overhead — attribute chains, vector growth checks, counter
+        stores — hoisted out of the loop.  Runs pre-simulation, so it
+        must stay a plain state transform: no events, no clock reads.
+        """
+        self._check()
+        d = self._dir
+        move_to_end = d.move_to_end
+        changed_move = self._changed.move_to_end
+        directory_entries = self.directory_entries
+        cid = conn.conn_id
+        vector = self.vectors[cid]
+        bits = vector._bits
+        reads = 0
+        hits = 0
+        for name, bit in pairs:
+            entry = d.get(name)
+            if entry is None:
+                if len(d) >= directory_entries:
+                    self._reclaim_directory()
+                entry = d[name] = _DirEntry()
+            entry.registrants[cid] = bit
+            entry.seen[cid] = entry.version
+            if bit >= len(bits):  # LocalVector.set_valid, inlined
+                bits.extend([False] * (bit + 1 - len(bits)))
+            bits[bit] = True
+            move_to_end(name)
+            if entry.changed:
+                changed_move(name)
+            if entry.has_data:
+                hits += 1
+            reads += 1
+        self.reads += reads
+        self.read_hits += hits
 
     def unregister(self, conn: Connector, name: object) -> None:
         """Drop interest (buffer stolen locally for reuse)."""

@@ -71,7 +71,8 @@ class CfPort:
 
     def __init__(self, node: SystemNode, cf: CouplingFacility,
                  links: LinkSet, config: CfConfig, trace=None,
-                 retry_rng: Optional[np.random.Generator] = None):
+                 retry_rng: Optional[np.random.Generator] = None,
+                 collapse: Optional[bool] = None):
         self.node = node
         self.cf = cf
         self.links = links
@@ -106,7 +107,13 @@ class CfPort:
         #: end of the command (attach tracers at construction time)
         self._fast = (FAST_PATH and config.request_timeout is None
                       and trace is None and cf.trace is None)
-        self._collapse = COLLAPSE and self._fast
+        # per-port collapse policy: an explicit True/False (threaded down
+        # from RunOptions via Sysplex/XesServices) wins; None falls back
+        # to the module default so direct CfPort construction — and the
+        # tests that monkeypatch COLLAPSE — keep their old meaning.  The
+        # collapse can only ever engage where the fast path may.
+        self._collapse = (COLLAPSE if collapse is None else collapse) \
+            and self._fast
 
     # -- internals ----------------------------------------------------------
     def _service(self, fn: Callable[[], Any], data: bool, signal_wait: bool,
@@ -266,114 +273,6 @@ class CfPort:
         finally:
             sreq.cancel()
 
-    # -- the collapsed fast path (opt-in; see COLLAPSE) ---------------------
-    def _collapsed_trip(self, link, sreq, fn: Callable[[], Any],
-                        out_bytes: int, in_bytes: int, data: bool,
-                        signal_wait: bool, box: list,
-                        service_factor: float) -> Generator:
-        """The collapsed round trip: subchannel already seized (``sreq``).
-
-        Mirrors the general path instant-for-instant — every stop the CF
-        processor occupancy or a structure mutation could be observed at
-        lands on the bit-identical float time the event chain would have
-        produced (absolute-time scheduling via ``timeout_at``; same
-        expression shapes for every sum) — but crosses it in 3 calendar
-        events instead of 8.  See ``COLLAPSE`` for the intra-instant
-        ordering caveat that keeps this variant opt-in.
-        """
-        sim = self.sim
-        cf = self.cf
-        try:
-            # engine-grant time -> command arrival at the CF: issue CPU,
-            # then one-way latency + transfer, merged into one event
-            transfer = (out_bytes + in_bytes) / self._bandwidth
-            t_arrive = (sim._now + self._issue_inflated) \
-                + (self._latency + transfer)
-            yield sim.timeout_at(t_arrive)
-            if not link.operational:
-                raise InterfaceControlCheck(link.name)
-            if cf.failed:
-                raise CfFailedError(cf.name)
-            # CF processor: queue exactly as ``CouplingFacility.execute``
-            # would.  The grant event is kept even when a processor is
-            # idle: commands from phase-locked systems arrive at the CF at
-            # the *same instant*, and the grant event is what keeps their
-            # intra-instant ordering identical to the general path.
-            preq = cf.processors.request()
-            try:
-                yield preq
-                if cf.failed:
-                    raise CfFailedError(cf.name)
-                svc = service_factor * self._cmd_service + (
-                    self._data_cmd_service if data else 0.0
-                )
-                yield sim.timeout(svc)
-                if cf.failed:
-                    raise CfFailedError(cf.name)
-                cf.commands_executed += 1
-            finally:
-                preq.cancel()
-            # structure mutation at the exact service-completion instant
-            # (it may schedule cross-invalidate signals from "now")
-            box.append(fn())
-            # optional signal-completion wait + return latency, one event
-            if signal_wait:
-                t_done = (sim._now + self._signal_latency) + self._latency
-            else:
-                t_done = sim._now + self._latency
-            yield sim.timeout_at(t_done)
-            if not link.operational:
-                raise InterfaceControlCheck(link.name)
-            link.ops += 1
-        finally:
-            sreq.cancel()
-
-    def _collapsed_sync(self, fn: Callable[[], Any], out_bytes: int,
-                        in_bytes: int, data: bool, signal_wait: bool,
-                        box: list, service_factor: float) -> Generator:
-        """Contention-aware sync: collapse the trip when the stack is idle.
-
-        The subchannel is claimed event-free when idle; a busy subchannel
-        (or every link down) falls back to the flattened general path's
-        queueing from the exact same instant.
-        """
-        sim = self.sim
-        cpu = self.node.cpu
-        # The engine grant stays a real event even when an engine is free:
-        # releasing-and-reclaiming processes and same-instant arrivals
-        # interleave through this event, and dropping it would let this
-        # command run ahead of same-time work the general path runs after.
-        req = cpu.engines.request()
-        start = -1.0
-        try:
-            yield req
-            start = sim._now
-            link = None
-            sreq = None
-            try:
-                link = self.links.pick()
-            except LinkDownError:
-                pass
-            if link is not None:
-                sreq = link.try_reserve()
-            if sreq is None:
-                # subchannel contention (or no operational link): general
-                # path from here — its own pick() at issue-complete time,
-                # its own queueing and error timing
-                yield sim.timeout(self._issue_inflated)
-                yield from self._plain_trip(fn, out_bytes, in_bytes, data,
-                                            signal_wait, box,
-                                            service_factor)
-            else:
-                yield from self._collapsed_trip(link, sreq, fn, out_bytes,
-                                                in_bytes, data, signal_wait,
-                                                box, service_factor)
-                self.fast_syncs += 1
-        finally:
-            if start >= 0.0:
-                cpu.busy_seconds += sim._now - start
-            req.cancel()
-
     # -- synchronous --------------------------------------------------------
     def sync(self, fn: Callable[[], Any], out_bytes: int = 64,
              in_bytes: int = 64, data: bool = False,
@@ -389,9 +288,110 @@ class CfPort:
         box: list = []
         if self._fast:
             if self._collapse:
-                yield from self._collapsed_sync(fn, out_bytes, in_bytes,
-                                                data, signal_wait, box,
-                                                service_factor)
+                # Collapsed fast path, fused into this frame: the whole
+                # round trip runs here with *scalar* resource holds — an
+                # idle engine, subchannel, or CF processor is claimed as a
+                # bare occupancy count (no Request object, no grant event,
+                # no ``yield``) — and every merged stop lands on the
+                # bit-identical float instant the general event chain
+                # would have produced (absolute-time scheduling via
+                # ``timeout_at``; same expression shapes for every sum).
+                # A busy stage falls back to the general queueing from
+                # the exact same instant.  Net: 3 calendar events instead
+                # of 8 and no per-stage allocation — see ``COLLAPSE`` for
+                # the intra-instant ordering caveat that keeps this
+                # variant opt-in.
+                sim = self.sim
+                cpu = self.node.cpu
+                engines = cpu.engines
+                ereq = None
+                if not engines.claim():
+                    ereq = engines.request()
+                start = -1.0
+                try:
+                    if ereq is not None:
+                        yield ereq
+                    start = sim._now
+                    link = None
+                    try:
+                        link = self.links.pick()
+                    except LinkDownError:
+                        pass
+                    if link is None or not link.subchannels.claim():
+                        # subchannel contention (or no operational link):
+                        # general path from here — its own pick() at
+                        # issue-complete time, its own queueing and error
+                        # timing
+                        yield sim.timeout(self._issue_inflated)
+                        yield from self._plain_trip(fn, out_bytes,
+                                                    in_bytes, data,
+                                                    signal_wait, box,
+                                                    service_factor)
+                        self.sync_ops += 1
+                        return box[0]
+                    subchannels = link.subchannels
+                    try:
+                        # engine-grant time -> command arrival at the CF:
+                        # issue CPU, then one-way latency + transfer, one
+                        # merged event
+                        transfer = (out_bytes + in_bytes) / self._bandwidth
+                        t_arrive = (sim._now + self._issue_inflated) \
+                            + (self._latency + transfer)
+                        yield sim.timeout_at(t_arrive)
+                        if not link.operational:
+                            raise InterfaceControlCheck(link.name)
+                        cf = self.cf
+                        if cf.failed:
+                            raise CfFailedError(cf.name)
+                        svc = service_factor * self._cmd_service + (
+                            self._data_cmd_service if data else 0.0
+                        )
+                        # CF processor: idle -> scalar claim (same
+                        # busy-area accounting, same instants);
+                        # contended -> the command queues exactly as
+                        # ``CouplingFacility.execute`` would
+                        procs = cf.processors
+                        if procs.claim():
+                            try:
+                                yield sim.timeout(svc)
+                            finally:
+                                procs.unclaim()
+                        else:
+                            preq = procs.request()
+                            try:
+                                yield preq
+                                if cf.failed:
+                                    raise CfFailedError(cf.name)
+                                yield sim.timeout(svc)
+                            finally:
+                                preq.cancel()
+                        if cf.failed:
+                            raise CfFailedError(cf.name)
+                        cf.commands_executed += 1
+                        # structure mutation at the exact
+                        # service-completion instant (it may schedule XI
+                        # signals from "now")
+                        box.append(fn())
+                        # optional signal-completion wait + return latency
+                        if signal_wait:
+                            t_done = (sim._now + self._signal_latency) \
+                                + self._latency
+                        else:
+                            t_done = sim._now + self._latency
+                        yield sim.timeout_at(t_done)
+                        if not link.operational:
+                            raise InterfaceControlCheck(link.name)
+                        link.ops += 1
+                        self.fast_syncs += 1
+                    finally:
+                        subchannels.unclaim()
+                finally:
+                    if start >= 0.0:
+                        cpu.busy_seconds += sim._now - start
+                    if ereq is None:
+                        engines.unclaim()
+                    else:
+                        ereq.cancel()
                 self.sync_ops += 1
                 return box[0]
             # Flattened fast path: the whole round trip in this one frame.

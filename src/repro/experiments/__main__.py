@@ -6,6 +6,7 @@
     python -m repro.experiments --filter fig3        # substring match
     python -m repro.experiments --jobs 4             # parallel sweeps
     python -m repro.experiments --no-cache           # always re-simulate
+    python -m repro.experiments --verify             # golden (byte-identical) profile
 
 Sweeps inside each experiment fan out over ``--jobs`` worker processes
 and memoise results in a content-addressed on-disk cache (default
@@ -108,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="master random seed for every experiment (default: 1)",
     )
     parser.add_argument(
+        "--verify", action="store_true",
+        help="run every sweep under the golden verify profile (heapq "
+        "scheduler, no event collapsing; byte-identical to historical "
+        "results) instead of the fast sweep profile",
+    )
+    parser.add_argument(
         "--csv-dir", default=None, metavar="DIR",
         help="also write each printed table to DIR as CSV",
     )
@@ -145,7 +152,8 @@ def main(argv=None) -> None:
         raise SystemExit("--expect-no-misses needs the cache "
                          "(drop --no-cache)")
     common.set_execution(jobs=jobs, cache=cache, csv_dir=args.csv_dir,
-                         progress=True)
+                         progress=True,
+                         profile="verify" if args.verify else None)
 
     quick = not args.full
     t0 = time.time()

@@ -55,6 +55,7 @@ EXECUTION: Dict[str, Any] = {
     "cache": None,
     "csv_dir": None,
     "progress": False,
+    "profile": None,
 }
 
 _UNSET = object()
@@ -64,8 +65,14 @@ def set_execution(jobs: Optional[int] = None,
                   cache: Union[None, str, Path, ResultCache,
                                object] = _UNSET,
                   csv_dir: Union[None, str, Path, object] = _UNSET,
-                  progress: Optional[bool] = None) -> None:
-    """Configure how :func:`sweep` executes (the CLI calls this once)."""
+                  progress: Optional[bool] = None,
+                  profile: Union[None, str, object] = _UNSET) -> None:
+    """Configure how :func:`sweep` executes (the CLI calls this once).
+
+    ``profile`` forces every sweep spec onto one execution profile
+    (``"verify"`` for the golden byte-identical configuration); ``None``
+    leaves each spec's own ``options.profile`` in charge.
+    """
     if jobs is not None:
         EXECUTION["jobs"] = max(1, int(jobs))
     if cache is not _UNSET:
@@ -74,6 +81,8 @@ def set_execution(jobs: Optional[int] = None,
         EXECUTION["csv_dir"] = Path(csv_dir) if csv_dir else None
     if progress is not None:
         EXECUTION["progress"] = progress
+    if profile is not _UNSET:
+        EXECUTION["profile"] = profile
 
 
 def sweep(specs: Sequence[RunSpec],
@@ -90,6 +99,9 @@ def sweep(specs: Sequence[RunSpec],
     jobs = EXECUTION["jobs"] if jobs is None else jobs
     cache = EXECUTION["cache"] if cache is _UNSET else cache
     on_result = _progress_line if EXECUTION["progress"] else None
+    forced = EXECUTION["profile"]
+    if forced is not None:
+        specs = [s.replace(profile=forced) for s in specs]
     return execute(specs, jobs=jobs, cache=cache, on_result=on_result)
 
 

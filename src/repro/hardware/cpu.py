@@ -34,6 +34,13 @@ class CpuComplex:
         self._speed = config.speed
         self.busy_seconds = 0.0  # inflated engine-seconds actually burned
         self.offline = False
+        #: event-collapse mode, set by the sysplex builder from the run's
+        #: resolved collapse policy: an idle engine is claimed event-free
+        #: (no grant event) on :meth:`consume`.  Timing and busy-area
+        #: accounting are identical; only same-instant interleaving moves,
+        #: the same statistically-neutral trade the CF command collapse
+        #: makes (see repro.cf.commands.COLLAPSE).
+        self.collapse = False
         #: >1.0 while the complex is degraded ("sick but not dead"): every
         #: CPU-second takes ``sick_factor`` times longer, but the system
         #: stays alive, heartbeats, and keeps accepting work — the hard
@@ -49,16 +56,26 @@ class CpuComplex:
         """
         if cpu_seconds <= 0:
             return
-        req = self.engines.request(priority)
+        # collapse mode: claim an idle engine as a scalar hold — no grant
+        # event, no Request allocation — halving the event count of the
+        # uncontended dispatch; a busy engine queues exactly as before
+        engines = self.engines
+        req = None
+        if not (self.collapse and engines.claim()):
+            req = engines.request(priority)
         try:
-            yield req
+            if req is not None:
+                yield req
             if self.offline:
                 raise SystemDown(self.name)
             burn = cpu_seconds * self._inflation / self._speed
             self.busy_seconds += burn
             yield self.sim.timeout(burn)
         finally:
-            req.cancel()
+            if req is None:
+                engines.unclaim()
+            else:
+                req.cancel()
 
     def spin(self, duration: float, priority: int = NORMAL) -> Generator:
         """Hold an engine for a fixed *wall* duration (CPU-synchronous CF

@@ -40,6 +40,10 @@ class DasdDevice:
         self._mu = float(np.log(config.service_mean) - 0.5 * sigma * sigma)
         self._sigma = sigma
         self.io_count = 0
+        #: event-collapse mode (set by the sysplex builder): an idle path
+        #: is claimed as a scalar hold, so an uncontended I/O costs one
+        #: calendar event (the service timeout) instead of two.
+        self.collapse = False
         # RESERVE state: holder token or None, plus FIFO of waiting events.
         self._reserve_holder: Optional[object] = None
         self._reserve_queue: List[tuple] = []
@@ -55,9 +59,13 @@ class DasdDevice:
         writers (castout, deferred write) run at lower priority so they
         never starve demand reads.
         """
-        req = self.paths.request(priority)
+        paths = self.paths
+        req = None
+        if not (self.collapse and paths.claim()):
+            req = paths.request(priority)
         try:
-            yield req
+            if req is not None:
+                yield req
             t = self.service_time()
             if pages > 1:
                 # chained pages ride the same positioning: transfer-only adds
@@ -65,7 +73,10 @@ class DasdDevice:
             self.io_count += 1
             yield self.sim.timeout(t)
         finally:
-            req.cancel()
+            if req is None:
+                paths.unclaim()
+            else:
+                req.cancel()
 
     # -- path availability ------------------------------------------------------
     def fail_path(self) -> None:

@@ -128,7 +128,7 @@ class LinkSet:
             if not link.operational:
                 continue
             sub = link.subchannels
-            busy = len(sub.users) + len(sub._waiters)
+            busy = len(sub.users) + sub._held + len(sub._waiters)
             if best is None or busy < best_busy:
                 best = link
                 best_busy = busy

@@ -53,13 +53,16 @@ class XesServices:
     """Sysplex-wide structure registry and connection manager."""
 
     def __init__(self, sim: Simulator, config: CfConfig, trace=None,
-                 streams=None):
+                 streams=None, collapse: Optional[bool] = None):
         self.sim = sim
         self.config = config
         self.trace = trace  # Tracer or None; threaded into every CfPort
         #: RandomStreams or None; with request-level robustness enabled
         #: each system's ports share a seeded backoff-jitter stream
         self.streams = streams
+        #: per-sysplex CF-command collapse policy, threaded into every
+        #: CfPort; None defers to the repro.cf.commands.COLLAPSE default
+        self.collapse = collapse
         self.facilities: List[CouplingFacility] = []
         self.rebuilds = 0
         self.rebuilds_started = 0
@@ -107,7 +110,7 @@ class XesServices:
         if self.streams is not None and self.config.request_timeout is not None:
             retry_rng = self.streams.stream(f"cfretry-{node.name}")
         port = CfPort(node, cf, links, self.config, trace=self.trace,
-                      retry_rng=retry_rng)
+                      retry_rng=retry_rng, collapse=self.collapse)
         connector = structure.connect(node.name, on_loss)
         return XesConnection(self, node, structure, port, connector)
 

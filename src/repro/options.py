@@ -11,8 +11,23 @@ the public API one typed, hashable, JSON-serializable object that
   participate in the spec's content hash (and therefore in the result
   cache's identity rule).
 
-The old loose-kwarg style still works on the runner entry points but
-raises :class:`DeprecationWarning`; see :mod:`repro.runner`.
+Execution profiles
+------------------
+
+``profile`` selects how much the kernel is allowed to optimize a run:
+
+* ``"sweep"`` (the default) — the fast configuration: the calendar-queue
+  scheduler plus the event-collapsed CF command path.  Statistically
+  indistinguishable from the golden path (and still perfectly
+  deterministic per spec hash), but *not* byte-identical to it at
+  saturation.  Experiments, fuzzing and chaos runs use this.
+* ``"verify"`` — the golden configuration: heapq scheduler, no event
+  collapsing.  Byte-identical to the historical results; use it to
+  (re)generate golden fixtures or to double-check a sweep result.
+
+``scheduler`` and ``collapse`` override the profile's choice per knob
+(``None`` means "whatever the profile says"); see
+:meth:`RunOptions.resolved_scheduler` / :meth:`RunOptions.resolved_collapse`.
 """
 
 from __future__ import annotations
@@ -20,12 +35,20 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Optional
 
-__all__ = ["RunOptions", "OPTION_FIELDS"]
+__all__ = ["RunOptions", "OPTION_FIELDS", "PROFILES"]
 
 #: The two workload drive modes (see OltpGenerator): ``closed`` keeps a
 #: fixed terminal population in think/submit loops; ``open`` offers an
 #: arrival stream at a fixed rate regardless of completions.
 _MODES = ("closed", "open")
+
+#: Execution profiles and the (scheduler, collapse) defaults they imply.
+PROFILES = {
+    "sweep": ("calendar", True),
+    "verify": ("heap", False),
+}
+
+_SCHEDULERS = (None, "heap", "calendar")
 
 
 @dataclass(frozen=True)
@@ -52,12 +75,48 @@ class RunOptions:
     terminals_per_system: Optional[int] = None
     #: Open-loop offered transactions/second per system.
     offered_tps_per_system: float = 200.0
+    #: Execution profile: ``"sweep"`` (fast; the default) or ``"verify"``
+    #: (golden, byte-identical to historical results).  See the module
+    #: docstring.
+    profile: str = "sweep"
+    #: Kernel calendar backend override: ``"heap"``, ``"calendar"``, or
+    #: ``None`` to take the profile's choice.  Both backends produce
+    #: bit-identical results; this knob exists for benchmarking and for
+    #: the fuzzer's cross-backend determinism oracle.
+    scheduler: Optional[str] = None
+    #: CF-command event-collapse override: ``True``/``False``, or
+    #: ``None`` to take the profile's choice.  Collapsed runs are
+    #: statistically neutral but not byte-identical to golden ones.
+    collapse: Optional[bool] = None
 
     def __post_init__(self):
         if self.mode not in _MODES:
             raise ValueError(
                 f"unknown drive mode {self.mode!r} (expected one of {_MODES})"
             )
+        if self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r} "
+                f"(expected one of {tuple(PROFILES)})"
+            )
+        if self.scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r} "
+                f"(expected one of {_SCHEDULERS})"
+            )
+
+    # -- profile resolution ------------------------------------------------
+    def resolved_scheduler(self) -> str:
+        """The kernel scheduler this run should use."""
+        if self.scheduler is not None:
+            return self.scheduler
+        return PROFILES[self.profile][0]
+
+    def resolved_collapse(self) -> bool:
+        """Whether the CF command path may collapse events."""
+        if self.collapse is not None:
+            return self.collapse
+        return PROFILES[self.profile][1]
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
@@ -68,6 +127,9 @@ class RunOptions:
             "tracing": self.tracing,
             "terminals_per_system": self.terminals_per_system,
             "offered_tps_per_system": self.offered_tps_per_system,
+            "profile": self.profile,
+            "scheduler": self.scheduler,
+            "collapse": self.collapse,
         }
 
     @classmethod
@@ -79,6 +141,7 @@ class RunOptions:
         return replace(self, **changes)
 
 
-#: Field names of :class:`RunOptions` — the keys the deprecation shims
-#: and :meth:`RunSpec.replace` recognize as drive options.
+#: Field names of :class:`RunOptions` — the keys
+#: :meth:`RunSpec.replace <repro.runspec.RunSpec.replace>` routes into
+#: the nested options bundle.
 OPTION_FIELDS = frozenset(f.name for f in fields(RunOptions))

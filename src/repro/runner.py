@@ -2,23 +2,28 @@
 
 These are the functions behind the :func:`repro.run` facade; each returns
 :class:`repro.metrics.RunResult`.  Drive parameters travel as one
-:class:`~repro.options.RunOptions` bundle.  The pre-1.1 loose keyword
-style (``mode=``, ``router_policy=``, ``tracing=``, ...) still works but
-raises :class:`DeprecationWarning`::
+:class:`~repro.options.RunOptions` bundle::
 
-    run_oltp(cfg, duration=1.0, tracing=True)                  # deprecated
-    run_oltp(cfg, duration=1.0, options=RunOptions(tracing=True))  # current
+    run_oltp(cfg, duration=1.0, options=RunOptions(tracing=True))
+
+(The pre-1.1 loose keyword style — ``run_oltp(cfg, tracing=True)`` —
+was deprecated in 1.1 and removed in 2.0.)
+
+The options bundle also carries the execution profile:
+``RunOptions(profile="sweep")`` (the default) runs on the calendar-queue
+scheduler with CF-command event collapsing — fast and statistically
+neutral; ``profile="verify"`` runs the golden heapq/no-collapse path,
+byte-identical to historical results.  See :mod:`repro.options`.
 """
 
 from __future__ import annotations
 
 import gc
-import warnings
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from .config import SysplexConfig
 from .metrics import RunResult
-from .options import OPTION_FIELDS, RunOptions
+from .options import RunOptions
 from .sysplex import Sysplex
 from .workloads.oltp import OltpGenerator
 from .workloads.traces import DemandTrace
@@ -29,31 +34,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["run_oltp", "run_spec", "build_loaded_sysplex"]
 
 
-def _resolve_options(options: Optional[RunOptions], legacy: dict,
-                     caller: str) -> RunOptions:
-    """Merge deprecated loose kwargs into a RunOptions bundle (warning once
-    per call site), or pass an explicit bundle through untouched."""
-    if legacy:
-        unknown = set(legacy) - OPTION_FIELDS
-        if unknown:
-            raise TypeError(
-                f"{caller}() got unexpected keyword arguments "
-                f"{sorted(unknown)}"
-            )
-        warnings.warn(
-            f"passing {sorted(legacy)} to {caller}() as loose keyword "
-            f"arguments is deprecated; pass options=RunOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return (options or RunOptions()).replace(**legacy)
-    return options if options is not None else RunOptions()
-
-
 def build_loaded_sysplex(config: SysplexConfig,
                          options: Optional[RunOptions] = None,
                          trace: Optional[DemandTrace] = None,
-                         **legacy) -> Tuple[Sysplex, OltpGenerator]:
+                         ) -> Tuple[Sysplex, OltpGenerator]:
     """Construct a sysplex with an OLTP workload attached (not yet run).
 
     Returns ``(sysplex, generator)`` so callers can inject failures or
@@ -61,11 +45,15 @@ def build_loaded_sysplex(config: SysplexConfig,
     parameters; ``trace`` optionally replays a recorded demand trace.
     With ``options.tracing`` the transaction-level span tracer is
     attached (see :mod:`repro.trace`), making per-category overhead
-    attribution available from ``collect()``.
+    attribution available from ``collect()``.  The options' execution
+    profile picks the kernel scheduler and the CF-command collapse mode
+    (``"sweep"`` = calendar + collapse, ``"verify"`` = golden heapq).
     """
-    opts = _resolve_options(options, legacy, "build_loaded_sysplex")
+    opts = options if options is not None else RunOptions()
     plex = Sysplex(config, monitoring=opts.monitoring,
-                   router_policy=opts.router_policy, tracing=opts.tracing)
+                   router_policy=opts.router_policy, tracing=opts.tracing,
+                   scheduler=opts.resolved_scheduler(),
+                   collapse=opts.resolved_collapse())
     gen = OltpGenerator(
         plex.sim,
         config.oltp,
@@ -96,8 +84,7 @@ def run_oltp(config: SysplexConfig,
              warmup: float = 0.3,
              options: Optional[RunOptions] = None,
              label: Optional[str] = None,
-             trace: Optional[DemandTrace] = None,
-             **legacy) -> RunResult:
+             trace: Optional[DemandTrace] = None) -> RunResult:
     """Run one measured OLTP window and return its results.
 
     ``warmup`` simulated seconds are run and discarded (buffer pools fill,
@@ -107,7 +94,7 @@ def run_oltp(config: SysplexConfig,
     of mean response per lifecycle category — see
     :mod:`repro.trace_analysis`).
     """
-    opts = _resolve_options(options, legacy, "run_oltp")
+    opts = options if options is not None else RunOptions()
     plex, _gen = build_loaded_sysplex(config, options=opts, trace=trace)
     # The event loop allocates millions of short-lived cyclic objects
     # (process <-> generator frame <-> event); letting the cycle collector

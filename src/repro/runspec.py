@@ -56,8 +56,11 @@ __all__ = [
 #: v3: :class:`~repro.chaos.ChaosConfig` gained the sick-system fault
 #: class, and the chaos runner's payload carries pathology observables
 #: plus invariant branch coverage (see ``repro.adversaries`` /
-#: ``repro.fuzz``).
-SCHEMA_VERSION = 3
+#: ``repro.fuzz``).  v4: :class:`~repro.options.RunOptions` gained the
+#: execution profile (``profile``/``scheduler``/``collapse``), and
+#: ``profile="sweep"`` — the default — runs event-collapsed, so v3
+#: results are not comparable byte-for-byte.
+SCHEMA_VERSION = 4
 
 #: Short names for the built-in runners.
 RUNNER_ALIASES: Dict[str, str] = {
@@ -149,6 +152,10 @@ class RunSpec:
     @property
     def offered_tps_per_system(self) -> float:
         return self.options.offered_tps_per_system
+
+    @property
+    def profile(self) -> str:
+        return self.options.profile
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:

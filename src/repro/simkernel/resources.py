@@ -67,6 +67,8 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.users: set = set()
+        #: scalar holds (see claim): occupancy with no Request object
+        self._held = 0
         self._waiters: list = []  # heap of (priority, seq, request)
         self._seq = 0
         # Time-weighted busy statistics.
@@ -76,7 +78,7 @@ class Resource:
     # -- statistics ----------------------------------------------------------
     def _account(self) -> None:
         now = self.sim.now
-        self._busy_area += len(self.users) * (now - self._last_change)
+        self._busy_area += (len(self.users) + self._held) * (now - self._last_change)
         self._last_change = now
 
     def utilization(self, since: float = 0.0) -> float:
@@ -98,7 +100,7 @@ class Resource:
 
     @property
     def in_use(self) -> int:
-        return len(self.users)
+        return len(self.users) + self._held
 
     @property
     def queue_length(self) -> int:
@@ -109,18 +111,21 @@ class Resource:
         """Claim one unit.  Yield the returned event to wait for the grant."""
         req = Request(self, priority)
         users = self.users
-        if len(users) < self.capacity and not self._waiters:
+        if len(users) + self._held < self.capacity and not self._waiters:
             # immediate-grant fast path: _grant + Event.succeed flattened
             # (free capacity is the common case on CPU engines and links)
             sim = self.sim
             now = sim._now
-            self._busy_area += len(users) * (now - self._last_change)
+            self._busy_area += (len(users) + self._held) * (now - self._last_change)
             self._last_change = now
             users.add(req)
             req._value = req
             req._state = _TRIGGERED
             sim._seq = seq = sim._seq + 1
-            heappush(sim._queue, (now, NORMAL, seq, req))
+            if sim._alt is None:
+                heappush(sim._queue, (now, NORMAL, seq, req))
+            else:
+                sim._alt.push((now, NORMAL, seq, req))
         else:
             self._seq += 1
             req._key = (priority, self._seq)
@@ -138,16 +143,48 @@ class Resource:
         shape as the general path.  Release via ``req.cancel()`` as usual.
         """
         users = self.users
-        if len(users) >= self.capacity or self._waiters:
+        if len(users) + self._held >= self.capacity or self._waiters:
             return None
         req = Request(self, priority)
         now = self.sim._now
-        self._busy_area += len(users) * (now - self._last_change)
+        self._busy_area += (len(users) + self._held) * (now - self._last_change)
         self._last_change = now
         users.add(req)
         req._value = req
         req._state = _PROCESSED
         return req
+
+    def claim(self) -> bool:
+        """Claim one unit *now* with no Request object and no event.
+
+        The cheapest acquisition: a free unit with nobody queued is held
+        as a bare occupancy count — no allocation, no grant event, no
+        ``yield``.  Returns False (claiming nothing) when the resource is
+        busy or contended; the caller falls back to :meth:`request`.
+        Release with :meth:`unclaim`.  Collapse-mode fast paths use this;
+        the golden paths never do, so ``_held`` stays 0 there and every
+        accounting expression reduces to the historical form.
+        """
+        users = self.users
+        held = self._held
+        if len(users) + held >= self.capacity or self._waiters:
+            return False
+        now = self.sim._now
+        self._busy_area += (len(users) + held) * (now - self._last_change)
+        self._last_change = now
+        self._held = held + 1
+        return True
+
+    def unclaim(self) -> None:
+        """Release one :meth:`claim` hold (grants to waiters if any)."""
+        users = self.users
+        now = self.sim._now
+        n = len(users) + self._held
+        self._busy_area += n * (now - self._last_change)
+        self._last_change = now
+        self._held -= 1
+        if self._waiters and n - 1 < self.capacity:
+            self._dispatch()
 
     def release(self, request: Request) -> None:
         """Return one unit previously granted to ``request``."""
@@ -155,10 +192,10 @@ class Resource:
         if request not in users:
             return
         now = self.sim._now
-        self._busy_area += len(users) * (now - self._last_change)
+        self._busy_area += (len(users) + self._held) * (now - self._last_change)
         self._last_change = now
         users.discard(request)
-        if self._waiters and len(users) < self.capacity:
+        if self._waiters and len(users) + self._held < self.capacity:
             self._dispatch()
 
     def _grant(self, req: Request) -> None:
@@ -167,7 +204,7 @@ class Resource:
         req.succeed(req)
 
     def _dispatch(self) -> None:
-        while self._waiters and len(self.users) < self.capacity:
+        while self._waiters and len(self.users) + self._held < self.capacity:
             _p, _s, req = heappop(self._waiters)
             if req._key is None:
                 continue  # cancelled while queued
@@ -181,10 +218,10 @@ class Resource:
         users = self.users
         if req in users:
             now = self.sim._now
-            self._busy_area += len(users) * (now - self._last_change)
+            self._busy_area += (len(users) + self._held) * (now - self._last_change)
             self._last_change = now
             users.discard(req)
-            if self._waiters and len(users) < self.capacity:
+            if self._waiters and len(users) + self._held < self.capacity:
                 self._dispatch()
         elif req._key:
             req._key = None  # lazily discarded by _dispatch

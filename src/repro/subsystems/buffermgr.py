@@ -256,16 +256,20 @@ class BufferManager:
         that precede any steady-state measurement.  Registers interest in
         the CF directory exactly as a costed read would.
         """
-        loaded = 0
+        pool = self._pool
+        free = self._free_slots
+        pairs = []
         for page in pages:
-            if not self._free_slots or page in self._pool:
+            if not free or page in pool:
                 continue
-            slot = self._free_slots.pop()
-            self._pool[page] = _Buffer(page, slot)
-            if self.data_sharing:
-                self.cache.register_and_read(self.xes.connector, page, slot)
-            loaded += 1
-        return loaded
+            slot = free.pop()
+            pool[page] = _Buffer(page, slot)
+            pairs.append((page, slot))
+        if pairs and self.data_sharing:
+            # bulk registration: same final CF state and statistics as one
+            # register_and_read per page, minus the per-call overhead
+            self.cache.prewarm_many(self.xes.connector, pairs)
+        return len(pairs)
 
     def contains(self, page: object) -> bool:
         return page in self._pool

@@ -19,8 +19,8 @@ from typing import Dict, Generator, Iterable, List, Tuple
 from ..cf.lock import LockMode
 from ..config import DatabaseConfig
 from ..hardware.cpu import SystemDown
-from ..simkernel import Simulator
-from .buffermgr import BufferManager
+from ..simkernel import Event, Simulator
+from .buffermgr import PAGE_BYTES, BufferManager
 from .lockmgr import DeadlockAbort, LockManager
 from .logmgr import LogManager
 
@@ -72,26 +72,119 @@ class DatabaseManager:
         tr = self.trace
 
         if tr is None:
+            # Untraced mainline, flattened: the two CPU lumps, the log
+            # force, and the page externalization run in THIS generator
+            # frame instead of through cpu.consume / commit / log.force /
+            # commit_writes delegation (four frames entered and resumed on
+            # every event of the hottest path in the simulator).  Event
+            # schedule, float arithmetic, and statistics are identical to
+            # the composed form — the traced branch below and
+            # :meth:`commit` keep the composed original.
+            sim = self.sim
+            cpu = self.node.cpu
             buffers = self.buffers
-            yield from self.node.cpu.consume(half_cpu)
+            locks = self.locks
+            log = self.log
+            engines = cpu.engines
+            if half_cpu > 0:  # cpu.consume(half_cpu), flattened
+                req = None
+                if not (cpu.collapse and engines.claim()):
+                    req = engines.request()
+                try:
+                    if req is not None:
+                        yield req
+                    if cpu.offline:
+                        raise SystemDown(cpu.name)
+                    burn = half_cpu * cpu._inflation / cpu._speed
+                    cpu.busy_seconds += burn
+                    yield sim.timeout(burn)
+                finally:
+                    if req is None:
+                        engines.unclaim()
+                    else:
+                        req.cancel()
             for page in reads:
                 if page in write_set:
                     continue  # will be locked EXCL below
                 self._check_alive()
-                yield from self.locks.lock(owner, page, LockMode.SHR)
+                yield from locks.lock(owner, page, LockMode.SHR)
                 # clean local hit: vector-bit test only, no generator
                 if buffers.try_get_local(page) is None:
                     yield from buffers.get_page(page)
             for page in writes:
                 self._check_alive()
-                yield from self.locks.lock(owner, page, LockMode.EXCL)
+                yield from locks.lock(owner, page, LockMode.EXCL)
                 if buffers.try_get_local(page) is None:
                     yield from buffers.get_page(page)
                 buffers.mark_dirty(page)
-                self.log.log_update(owner, page)
+                log.log_update(owner, page)
             self._check_alive()
-            yield from self.node.cpu.consume(half_cpu)
-            yield from self.commit(owner, writes)
+            if half_cpu > 0:  # cpu.consume(half_cpu), flattened
+                req = None
+                if not (cpu.collapse and engines.claim()):
+                    req = engines.request()
+                try:
+                    if req is not None:
+                        yield req
+                    if cpu.offline:
+                        raise SystemDown(cpu.name)
+                    burn = half_cpu * cpu._inflation / cpu._speed
+                    cpu.busy_seconds += burn
+                    yield sim.timeout(burn)
+                finally:
+                    if req is None:
+                        engines.unclaim()
+                    else:
+                        req.cancel()
+            # -- commit(owner, writes), flattened ---------------------------
+            self._check_alive()
+            # log.force(): force CPU, then join the group commit
+            force_cpu = self.config.log_force_cpu
+            if force_cpu > 0:
+                req = None
+                if not (cpu.collapse and engines.claim()):
+                    req = engines.request()
+                try:
+                    if req is not None:
+                        yield req
+                    if cpu.offline:
+                        raise SystemDown(cpu.name)
+                    burn = force_cpu * cpu._inflation / cpu._speed
+                    cpu.busy_seconds += burn
+                    yield sim.timeout(burn)
+                finally:
+                    if req is None:
+                        engines.unclaim()
+                    else:
+                        req.cancel()
+            ev = Event(sim)
+            log._pending.append(ev)
+            if not log._flushing:
+                log._flushing = True
+                sim.process(log._flush_loop(), name="log-flush")
+            yield ev
+            # buffers.commit_writes(writes): externalize changed pages
+            pool = buffers._pool
+            xes = buffers.xes
+            if xes is not None:
+                cache = xes.structure
+                conn = xes.connector
+                sync = xes.port.sync
+                for page in writes:
+                    buf = pool.get(page)
+                    if buf is None or not buf.dirty:
+                        continue
+                    yield from sync(
+                        lambda p=page: cache.write_and_invalidate(conn, p),
+                        out_bytes=PAGE_BYTES,
+                        data=True,
+                        signal_wait=True,
+                    )
+                    buffers.pages_written += 1
+                    buf.dirty = False
+            log.log_end(owner)
+            yield from locks.unlock_all(owner)
+            self.commits += 1
             return
 
         # traced variant: identical control flow with each lifecycle stage

@@ -91,10 +91,17 @@ class TransactionManager:
             txn.done.succeed(None)  # closed-loop terminal moves on
 
     def _run(self, txn) -> Generator:
-        req = self.tasks.request()
+        # collapse mode: a region below its MPL admits the task as a
+        # scalar hold — no admission grant event; a full region queues
+        # through a real request exactly as before
+        tasks = self.tasks
+        req = None
+        if not (self.node.cpu.collapse and tasks.claim()):
+            req = tasks.request()
         tr = self.trace
         try:
-            yield req
+            if req is not None:
+                yield req
             if tr is not None:
                 # arrival → region task start: routing (incl. any function
                 # shipping) plus admission queueing for a region task
@@ -102,6 +109,8 @@ class TransactionManager:
                           txn.txn_id, self.node.name)
                 tr.bind(txn.txn_id, self.node.name)
             app_half = 0.5 * self.config.app_cpu
+            sim = self.sim
+            cpu = self.node.cpu
             try:
                 for attempt in range(MAX_RETRIES):
                     try:
@@ -111,7 +120,28 @@ class TransactionManager:
                             self._fail(txn)
                             return
                         if tr is None:
-                            yield from self.node.cpu.consume(app_half)
+                            # cpu.consume(app_half) flattened into this
+                            # frame (see DatabaseManager.execute): same
+                            # events, same floats, no delegation
+                            if app_half > 0:
+                                engines = cpu.engines
+                                creq = None
+                                if not (cpu.collapse and engines.claim()):
+                                    creq = engines.request()
+                                try:
+                                    if creq is not None:
+                                        yield creq
+                                    if cpu.offline:
+                                        raise SystemDown(cpu.name)
+                                    burn = (app_half * cpu._inflation
+                                            / cpu._speed)
+                                    cpu.busy_seconds += burn
+                                    yield sim.timeout(burn)
+                                finally:
+                                    if creq is None:
+                                        engines.unclaim()
+                                    else:
+                                        creq.cancel()
                         else:
                             yield from tr.traced(
                                 "cpu", self.node.cpu.consume(app_half)
@@ -120,7 +150,25 @@ class TransactionManager:
                             txn.txn_id, txn.reads, txn.writes
                         )
                         if tr is None:
-                            yield from self.node.cpu.consume(app_half)
+                            if app_half > 0:
+                                engines = cpu.engines
+                                creq = None
+                                if not (cpu.collapse and engines.claim()):
+                                    creq = engines.request()
+                                try:
+                                    if creq is not None:
+                                        yield creq
+                                    if cpu.offline:
+                                        raise SystemDown(cpu.name)
+                                    burn = (app_half * cpu._inflation
+                                            / cpu._speed)
+                                    cpu.busy_seconds += burn
+                                    yield sim.timeout(burn)
+                                finally:
+                                    if creq is None:
+                                        engines.unclaim()
+                                    else:
+                                        creq.cancel()
                         else:
                             yield from tr.traced(
                                 "cpu", self.node.cpu.consume(app_half)
@@ -188,7 +236,10 @@ class TransactionManager:
         finally:
             if tr is not None:
                 tr.unbind()
-            req.cancel()
+            if req is None:
+                tasks.unclaim()
+            else:
+                req.cancel()
 
 
 class SysplexRouter:

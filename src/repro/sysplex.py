@@ -74,9 +74,25 @@ class Sysplex:
     def __init__(self, config: SysplexConfig,
                  monitoring: bool = True,
                  router_policy: str = "threshold",
-                 tracing: bool = False):
+                 tracing: bool = False,
+                 scheduler: str = "heap",
+                 collapse: Optional[bool] = None):
         self.config = config
-        self.sim = Simulator()
+        # scheduler picks the kernel's calendar backend ("heap" is the
+        # golden default; "calendar" is the sweep backend — bit-identical
+        # results either way); collapse=True turns on event merging on
+        # the CF command fast path and the uncontended CPU dispatch
+        # (statistically neutral, NOT byte-identical at saturation).
+        # None defers to the repro.cf.commands.COLLAPSE module default.
+        from .cf import commands as _cf_commands
+
+        self._collapse_events = bool(
+            _cf_commands.COLLAPSE if collapse is None else collapse
+        ) and not tracing
+        self.sim = Simulator(scheduler=scheduler)
+        # collapse also elides terminal events of processes nobody waits
+        # on (fire-and-forget transactions, shipments, castout I/O)
+        self.sim._elide_done = self._collapse_events
         self.streams = RandomStreams(config.seed)
         self.metrics = MetricSet(self.sim)
         # transaction-level tracing (overhead attribution): a passive
@@ -98,6 +114,9 @@ class Sysplex:
         farm_rng = self.streams.stream("dasd")
         self.farm = DasdFarm(self.sim, config.dasd, farm_rng,
                              n_devices=config.n_dasd)
+        if self._collapse_events:
+            for dev in self.farm.devices:
+                dev.collapse = True
         self.cds = CoupleDataSet(
             self.sim,
             DasdDevice(self.sim, config.dasd, farm_rng, "cds-primary"),
@@ -107,7 +126,7 @@ class Sysplex:
         # --- coupling facilities + structures --------------------------------
         self.cfs: List[CouplingFacility] = []
         self.xes = XesServices(self.sim, config.cf, trace=self.tracer,
-                               streams=self.streams)
+                               streams=self.streams, collapse=collapse)
         if config.data_sharing and config.n_cfs > 0:
             for i in range(config.n_cfs):
                 cf = CouplingFacility(self.sim, config.cf, name=f"CF{i + 1:02d}")
@@ -167,6 +186,7 @@ class Sysplex:
         cfg = self.config
         node = SystemNode(self.sim, cfg, index,
                           tod=self.timer.attach(drift_ppm=(index - 8) * 2.0))
+        node.cpu.collapse = self._collapse_events
         for cf in self.cfs:
             node.cf_links[cf.name] = LinkSet(
                 self.sim, cfg.link, name=f"{node.name}-{cf.name}"

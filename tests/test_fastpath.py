@@ -1,33 +1,49 @@
 """Tests for the uncontended fast paths through the CF command stack.
 
-The fast paths (``repro.cf.commands.FAST_PATH``, the lock-manager
-single-frame grant, the buffer-manager ``try_get_local``) are pure
-machinery: they must change *nothing* observable about a run — not the
-event timing, not the RNG draw order, not a single statistic.  These
-tests pin that contract on a contended-by-construction scenario, gate the
-events-per-transaction cost metric, and check the robustness/chaos
-configurations stay off the fast path entirely.
+The *byte-safe* fast paths (``repro.cf.commands.FAST_PATH``, the
+lock-manager single-frame grant, the buffer-manager ``try_get_local``)
+are pure machinery: they must change *nothing* observable about a run —
+not the event timing, not the RNG draw order, not a single statistic.
+The *collapsed* execution (``profile="sweep"``: event merging + scalar
+resource holds + the calendar-queue scheduler) trades byte identity for
+speed and must stay statistically neutral.  These tests pin both
+contracts — including the full 22-point golden grid against the
+pre-refactor payload hashes — gate the events-per-transaction cost
+metric, and check the robustness/chaos configurations stay off the fast
+path entirely.
 """
+
+import hashlib
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 import repro.cf.commands as commands
 from repro.config import CfConfig
+from repro.executor import _payload_from
 from repro.experiments.common import QUICK, scaled_config
+from repro.experiments.fig3_scalability import fig3_specs
+from repro.experiments.tab1_overhead import tab1_specs
 from repro.options import RunOptions
 from repro.runner import build_loaded_sysplex, run_oltp
+from repro.runspec import canonical_json
 from repro.simkernel import Resource, Simulator
 
 #: events_per_committed_txn measured for the Table-1 base quick point
-#: (1 system, no data sharing, seed 1) when the fast paths landed.  The
-#: count is deterministic for a fixed seed; growth means new event
-#: machinery crept onto the per-transaction path.
+#: (1 system, no data sharing, seed 1) under the golden verify profile
+#: when the fast paths landed.  The count is deterministic for a fixed
+#: seed; growth means new event machinery crept onto the
+#: per-transaction path.
 TAB1_BASE_EVENTS_PER_TXN = 60.5
 
+GOLDEN_GRID = Path(__file__).parent / "data" / "golden_grid.json"
 
-def _run(cfg, duration=0.25, warmup=0.15):
+
+def _run(cfg, duration=0.25, warmup=0.15, options=None):
     """run_oltp, but keeping the sysplex so tests can inspect the ports."""
-    plex, _gen = build_loaded_sysplex(cfg, options=RunOptions())
+    plex, _gen = build_loaded_sysplex(cfg, options=options or RunOptions())
     plex.sim.run(until=warmup)
     plex.reset_measurement()
     plex.sim.run(until=warmup + duration)
@@ -55,13 +71,14 @@ def test_fast_path_identical_under_contention(monkeypatch):
     cfg = scaled_config(8, 1, seed=1,
                         cf=CfConfig(n_cpus=1, cmd_service=12e-6,
                                     data_cmd_service=24e-6))
+    verify = RunOptions(profile="verify")
 
     monkeypatch.setattr(commands, "FAST_PATH", False)
-    plex_gen, res_gen = _run(cfg)
+    plex_gen, res_gen = _run(cfg, options=verify)
     assert all(p.fast_syncs == 0 for p in _ports(plex_gen))
 
     monkeypatch.setattr(commands, "FAST_PATH", True)
-    plex_fast, res_fast = _run(cfg)
+    plex_fast, res_fast = _run(cfg, options=verify)
     assert sum(p.fast_syncs for p in _ports(plex_fast)) > 0
 
     # contended by construction: the lone CF processor is the bottleneck
@@ -69,15 +86,13 @@ def test_fast_path_identical_under_contention(monkeypatch):
     assert res_fast.to_dict() == res_gen.to_dict()
 
 
-def test_collapsed_mode_statistically_neutral(monkeypatch):
-    """COLLAPSE merges events (not byte-safe at saturation, hence opt-in)
-    but must stay statistically indistinguishable from the general path."""
+def test_collapsed_mode_statistically_neutral():
+    """The sweep profile merges events (not byte-safe at saturation) but
+    must stay statistically indistinguishable from the golden path."""
     cfg = scaled_config(4, 1, seed=1)
 
-    monkeypatch.setattr(commands, "COLLAPSE", False)
-    _, res_default = _run(cfg)
-    monkeypatch.setattr(commands, "COLLAPSE", True)
-    plex_col, res_col = _run(cfg)
+    _, res_default = _run(cfg, options=RunOptions(profile="verify"))
+    plex_col, res_col = _run(cfg, options=RunOptions(profile="sweep"))
 
     assert sum(p.fast_syncs for p in _ports(plex_col)) > 0
     assert res_col.completed == pytest.approx(res_default.completed, rel=0.05)
@@ -85,14 +100,29 @@ def test_collapsed_mode_statistically_neutral(monkeypatch):
         res_default.response_mean, rel=0.10)
 
 
+def test_collapse_cuts_events_for_the_same_outcome():
+    """Collapse is the sweep profile's whole point: materially fewer
+    calendar events for a statistically identical run."""
+    cfg = scaled_config(2, 1, seed=1)
+    plex_v, _ = _run(cfg, options=RunOptions(profile="verify"))
+    plex_s, _ = _run(cfg, options=RunOptions(profile="sweep"))
+    assert plex_s.sim.events_processed < 0.8 * plex_v.sim.events_processed
+
+
 # ------------------------------------------------------------- cost gate ----
 def test_events_per_committed_txn_no_regression():
     cfg = scaled_config(1, 1, data_sharing=False, seed=1)
-    result = run_oltp(cfg, duration=QUICK["duration"],
-                      warmup=QUICK["warmup"])
-    assert result.sim_events > 0
-    assert result.completed > 0
-    assert result.events_per_committed_txn <= 1.10 * TAB1_BASE_EVENTS_PER_TXN
+    verify = run_oltp(cfg, duration=QUICK["duration"],
+                      warmup=QUICK["warmup"],
+                      options=RunOptions(profile="verify"))
+    assert verify.sim_events > 0
+    assert verify.completed > 0
+    assert verify.events_per_committed_txn <= 1.10 * TAB1_BASE_EVENTS_PER_TXN
+    # the sweep default must only ever *cut* per-transaction machinery
+    sweep = run_oltp(cfg, duration=QUICK["duration"],
+                     warmup=QUICK["warmup"],
+                     options=RunOptions(profile="sweep"))
+    assert sweep.events_per_committed_txn < verify.events_per_committed_txn
 
 
 def test_sim_events_excluded_from_payloads():
@@ -101,6 +131,63 @@ def test_sim_events_excluded_from_payloads():
     result = run_oltp(cfg, duration=0.1, warmup=0.05)
     assert result.sim_events > 0
     assert "sim_events" not in result.to_dict()
+
+
+# ------------------------------------------------------------ golden grid ----
+def _grid_specs():
+    return {s.label: s for s in fig3_specs() + tab1_specs()}
+
+
+def _payload_sha(spec):
+    payload = json.loads(canonical_json(_payload_from(spec.run())))
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest(), payload
+
+
+#: Default byte-identity coverage: one point per grid family (TCMP,
+#: small/medium plex, the non-sharing base, the DS-overhead pairs) keeps
+#: the test under ~15 s.  Set ``REPRO_FULL_GRID=1`` to check all 22
+#: points (~80 s) — the CI golden-grid job does.
+_SUBSET = ("base-1cpu", "tcmp-4", "tcmp-10", "plex-1", "plex-4", "plex-8",
+           "1-system no-DS", "2-system DS", "8-system DS")
+
+
+def test_verify_profile_reproduces_golden_grid():
+    """The heapq/verify backend is byte-identical to pre-refactor main."""
+    fixture = json.loads(GOLDEN_GRID.read_text())
+    golden = {p["label"]: p for p in fixture["points"]}
+    labels = (list(golden) if os.environ.get("REPRO_FULL_GRID")
+              else list(_SUBSET))
+    specs = _grid_specs()
+    for label in labels:
+        sha, _payload = _payload_sha(specs[label].replace(profile="verify"))
+        assert sha == golden[label]["payload_sha256"], label
+
+
+def test_sweep_default_statistically_neutral_vs_golden():
+    """COLLAPSE-by-default: sweep payloads stay within statistical
+    tolerance of the golden fixtures.  The deltas are exact per-seed
+    numbers (both paths are deterministic), not machine noise; the worst
+    observed throughput delta across the 22-point grid is 6.7%."""
+    specs = _grid_specs()
+    fixture = json.loads(GOLDEN_GRID.read_text())
+    golden = {p["label"]: p for p in fixture["points"]}
+    for label in ("tcmp-4", "plex-4", "2-system DS"):
+        payload = json.loads(canonical_json(
+            _payload_from(specs[label].replace(profile="sweep").run())))
+        data = payload["data"]
+        g = golden[label]
+        assert data["completed"] == pytest.approx(
+            g["completed"], rel=0.10), label
+        assert data["response_mean"] == pytest.approx(
+            g["response_mean"], rel=0.25), label
+
+
+def test_scheduler_backends_byte_identical():
+    """heap vs calendar under identical options: identical payload bytes."""
+    spec = _grid_specs()["tcmp-4"]
+    sha_h, _ = _payload_sha(spec.replace(scheduler="heap"))
+    sha_c, _ = _payload_sha(spec.replace(scheduler="calendar"))
+    assert sha_h == sha_c
 
 
 # ------------------------------------------------------ robustness gating ----

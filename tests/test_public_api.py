@@ -1,6 +1,4 @@
-"""Tests for the public API surface: repro.run, RunOptions, shims."""
-
-import warnings
+"""Tests for the public API surface: repro.run and RunOptions."""
 
 import pytest
 
@@ -122,39 +120,15 @@ def test_public_surface_is_importable():
         assert getattr(repro, name, None) is not None, name
 
 
-# ------------------------------------------------------- deprecation shims ----
-def test_run_oltp_loose_kwargs_warn_and_match():
-    cfg = small_cfg()
-    current = run_oltp(cfg, duration=0.2, warmup=0.1,
-                       options=RunOptions(router_policy="wlm"))
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        legacy = run_oltp(cfg, duration=0.2, warmup=0.1, router_policy="wlm")
-    deprecations = [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-    assert len(deprecations) == 1
-    assert "router_policy" in str(deprecations[0].message)
-    assert legacy.completed == current.completed
-    assert legacy.throughput == current.throughput
-    assert legacy.response_mean == current.response_mean
-
-
-def test_build_loaded_sysplex_loose_kwargs_warn():
-    with pytest.deprecated_call():
-        plex, gen = build_loaded_sysplex(small_cfg(), mode="closed",
-                                         terminals_per_system=2)
-    plex.sim.run(until=0.1)
-    assert plex.metrics.counter("txn.completed").count >= 0
-
-
-def test_loose_kwargs_layer_on_top_of_options():
-    with pytest.deprecated_call():
-        plex, _gen = build_loaded_sysplex(
-            small_cfg(), options=RunOptions(router_policy="wlm"),
-            terminals_per_system=2)
-    assert plex.router.policy == "wlm"
-
-
-def test_unknown_loose_kwarg_is_a_type_error():
+# ----------------------------------------------- loose kwargs are removed ----
+def test_loose_kwargs_removed():
+    """The pre-1.1 loose keyword style (deprecated in 1.1, removed in
+    2.0) is now a plain TypeError: drive parameters travel only as a
+    RunOptions bundle."""
+    with pytest.raises(TypeError):
+        run_oltp(small_cfg(), duration=0.2, warmup=0.1, router_policy="wlm")
+    with pytest.raises(TypeError):
+        build_loaded_sysplex(small_cfg(), mode="closed",
+                             terminals_per_system=2)
     with pytest.raises(TypeError):
         run_oltp(small_cfg(), durations=0.2)

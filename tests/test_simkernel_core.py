@@ -440,3 +440,78 @@ def test_deterministic_replay():
         return order
 
     assert build() == build()
+
+
+# -------------------------------------------------- terminal-event elision ----
+def test_elide_done_skips_terminal_event_when_unwatched():
+    """With _elide_done set, a finishing process nobody waits on is
+    marked processed directly — no terminal calendar event."""
+
+    def fire_and_forget(sim):
+        yield sim.timeout(1.0)
+
+    baseline = Simulator()
+    baseline.process(fire_and_forget(baseline), name="p")
+    baseline.run()
+    elided = Simulator()
+    elided._elide_done = True
+    proc = elided.process(fire_and_forget(elided), name="p")
+    elided.run()
+    assert elided.events_processed == baseline.events_processed - 1
+    assert proc.processed
+
+
+def test_elide_done_keeps_terminal_for_waiters():
+    """A watched process still delivers its value through the calendar."""
+    sim = Simulator()
+    sim._elide_done = True
+    got = []
+
+    def child():
+        yield sim.timeout(1.0)
+        return "answer"
+
+    def parent():
+        value = yield sim.process(child(), name="c")
+        got.append((sim.now, value))
+
+    sim.process(parent(), name="p")
+    sim.run()
+    assert got == [(1.0, "answer")]
+
+
+def test_elide_done_late_waiter_sees_value():
+    """Yielding an already-elided process feeds its value straight back."""
+    sim = Simulator()
+    sim._elide_done = True
+
+    def child():
+        yield sim.timeout(1.0)
+        return 42
+
+    proc = sim.process(child(), name="c")
+    got = []
+
+    def late_parent():
+        yield sim.timeout(5.0)  # child finished (and was elided) long ago
+        value = yield proc
+        got.append((sim.now, value))
+
+    sim.process(late_parent(), name="p")
+    sim.run()
+    assert got == [(5.0, 42)]
+
+
+def test_elide_done_failures_still_surface():
+    """Elision only applies to clean exits: an unwatched failure must
+    still raise out of run() exactly as the golden kernel does."""
+    sim = Simulator()
+    sim._elide_done = True
+
+    def boom():
+        yield sim.timeout(1.0)
+        raise RuntimeError("kept")
+
+    sim.process(boom(), name="b")
+    with pytest.raises(RuntimeError, match="kept"):
+        sim.run()

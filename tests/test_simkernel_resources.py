@@ -278,3 +278,86 @@ def test_container_capacity_clamps_put():
     tank = Container(sim, init=0, capacity=10)
     tank.put(25)
     assert tank.level == 10
+
+
+# ------------------------------------------------------- scalar claims ----
+def test_claim_holds_capacity_without_events():
+    """claim() occupies a unit with no Request and no grant event."""
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    assert res.claim() is True
+    assert res.claim() is True
+    assert res.in_use == 2
+    assert res.claim() is False  # full
+    assert sim.events_processed == 0  # truly event-free
+    res.unclaim()
+    assert res.in_use == 1
+    assert res.claim() is True
+
+
+def test_claim_defers_to_queued_waiters():
+    """A queued waiter keeps FIFO priority over opportunistic claims."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.request()
+    got = []
+
+    def waiter():
+        req = res.request()
+        yield req
+        got.append(sim.now)
+        req.cancel()
+
+    sim.process(waiter(), name="w")
+    sim.run(until=0.1)
+    assert res.claim() is False  # busy AND a waiter queued
+    first.cancel()
+    sim.run(until=0.2)
+    assert got and res.claim() is True
+
+
+def test_unclaim_dispatches_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    assert res.claim() is True
+    got = []
+
+    def waiter():
+        req = res.request()
+        yield req
+        got.append(sim.now)
+        req.cancel()
+
+    sim.process(waiter(), name="w")
+    sim.run(until=0.1)
+    assert got == []  # still held by the claim
+    res.unclaim()
+    sim.run(until=0.2)
+    assert got == [0.1]
+
+
+def test_claim_and_request_account_identically():
+    """Busy-area statistics are identical for a scalar hold and for the
+    equivalent Request/release pair."""
+
+    def occupy(use_claim):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            if use_claim:
+                assert res.claim()
+                yield sim.timeout(3.0)
+                res.unclaim()
+            else:
+                req = res.request()
+                yield req
+                yield sim.timeout(3.0)
+                req.cancel()
+            yield sim.timeout(1.0)
+
+        sim.process(holder(), name="h")
+        sim.run()
+        return res.utilization(), res.in_use
+
+    assert occupy(True) == occupy(False)

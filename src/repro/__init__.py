@@ -24,10 +24,18 @@ or, declaratively (cache- and sweep-friendly)::
 
     spec = RunSpec(config=cfg, duration=1.0)
     result = run(spec)              # one spec, in-process
-    results = execute([spec, ...])  # many specs: pool + result cache
+    results = run([spec, ...])      # many specs: routed through execute()
+    results = execute([spec, ...], jobs=4, cache=".runcache")
+
+Sweeps execute behind a pluggable :class:`ExecutorBackend` — the default
+:class:`LocalPoolBackend` (in-process or a local process pool) or a
+:class:`WorkQueueBackend` (a work-queue server feeding worker clients
+over a socket) — with :func:`execute_iter` streaming completions as they
+land and :class:`Progress` rendering per-point progress/ETA lines.
+Every path returns byte-identical results for equal specs.
 """
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from .chaos import ChaosConfig, ChaosEngine, FaultClassConfig
 from .config import (
@@ -43,7 +51,15 @@ from .config import (
     XcfConfig,
     quick_sysplex,
 )
-from .executor import ResultCache, execute
+from .executor import (
+    ExecutorBackend,
+    LocalPoolBackend,
+    Progress,
+    ResultCache,
+    WorkQueueBackend,
+    execute,
+    execute_iter,
+)
 from .invariants import InvariantChecker, Violation, check_reconvergence
 from .metrics import RunResult, scalability_table
 from .options import RunOptions
@@ -58,7 +74,7 @@ from .trace_analysis import (
     format_attribution,
 )
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 
 def run(spec_or_config: Union[RunSpec, SysplexConfig],
@@ -74,11 +90,24 @@ def run(spec_or_config: Union[RunSpec, SysplexConfig],
     * a :class:`RunSpec` — executed via its runner; ``options`` and
       keyword overrides (``duration=``, ``tracing=``, ...) are folded
       into the spec with :meth:`RunSpec.replace` first, so the result is
-      identical to running the adjusted spec through the executor.
+      identical to running the adjusted spec through the executor;
+    * a sequence of :class:`RunSpec` — the whole sweep is routed through
+      :func:`execute` (``jobs=``, ``cache=``, ``backend=``,
+      ``progress=`` pass straight through) and the results come back in
+      spec order.
 
     Returns whatever the runner returns — a :class:`RunResult` for OLTP
-    runs, a JSON-serializable payload for scenario runners.
+    runs, a JSON-serializable payload for scenario runners — or the list
+    of them for a sweep.
     """
+    if (isinstance(spec_or_config, Sequence)
+            and not isinstance(spec_or_config, (str, bytes))):
+        specs = list(spec_or_config)
+        if not all(isinstance(s, RunSpec) for s in specs):
+            raise TypeError("run() sweep form expects a sequence of RunSpec")
+        if options is not None:
+            specs = [s.replace(options=options) for s in specs]
+        return execute(specs, **kwargs)
     if isinstance(spec_or_config, RunSpec):
         spec = spec_or_config
         if options is not None:
@@ -105,11 +134,14 @@ __all__ = [
     "CpuConfig",
     "DasdConfig",
     "DatabaseConfig",
+    "ExecutorBackend",
     "FaultClassConfig",
     "Instance",
     "InvariantChecker",
     "LinkConfig",
+    "LocalPoolBackend",
     "OltpConfig",
+    "Progress",
     "ResultCache",
     "RunOptions",
     "RunResult",
@@ -120,12 +152,14 @@ __all__ = [
     "Tracer",
     "Violation",
     "WlmConfig",
+    "WorkQueueBackend",
     "XcfConfig",
     "attribute",
     "attribution_delta",
     "build_loaded_sysplex",
     "check_reconvergence",
     "execute",
+    "execute_iter",
     "format_attribution",
     "quick_sysplex",
     "run",

@@ -1,0 +1,36 @@
+"""Distributed sweep execution: a work-queue server plus worker clients.
+
+This package is the transport behind
+:class:`repro.executor.WorkQueueBackend`.  The shape mirrors the
+sysplex itself: a shared queue (the server, playing the CF list
+structure) that any number of loosely-coupled workers drain, with the
+death of a worker surfacing as a resubmitted unit of work rather than a
+lost one.
+
+* :mod:`repro.distrib.protocol` — newline-delimited JSON message
+  framing over TCP or unix sockets, plus address parsing;
+* :mod:`repro.distrib.server` — :class:`~repro.distrib.server.
+  SweepServer`, the submitter-side task queue: hands one task at a time
+  to each connected worker, collects results, and requeues the
+  outstanding task of any worker that disconnects mid-run;
+* :mod:`repro.distrib.worker` — the worker client loop and its CLI
+  (``python -m repro.distrib.worker --connect HOST:PORT``), which pulls
+  tasks, answers from a shared content-addressed cache when it can, and
+  streams canonical payloads back.
+
+Nothing here knows about experiments or simulators beyond
+:func:`repro.executor.run_task`; the protocol carries only JSON.
+"""
+
+# NOTE: .worker is deliberately not imported here — it is an executable
+# module (`python -m repro.distrib.worker`), and importing it from the
+# package __init__ would make runpy warn about double execution.
+from .protocol import format_address, parse_address
+from .server import SweepServer, WorkerTaskError
+
+__all__ = [
+    "SweepServer",
+    "WorkerTaskError",
+    "format_address",
+    "parse_address",
+]

@@ -1,0 +1,86 @@
+"""Wire protocol: newline-delimited JSON messages over a socket.
+
+Every message is one JSON object on one line, UTF-8 encoded.  The
+conversation between server and worker::
+
+    worker -> {"op": "hello", "worker": "worker-0"}
+    server -> {"op": "welcome", "cache": "/path/.runcache" | null}
+    server -> {"op": "task", "id": 7, "spec": {...}}
+    worker -> {"op": "result", "id": 7, "payload": {...},
+               "cached": false, "seconds": 1.93}
+            | {"op": "error", "id": 7, "error": "ValueError: ...",
+               "traceback": "..."}
+    ...                         # repeat task/result until the queue is dry
+    server -> {"op": "bye"}
+
+Payloads are canonical-JSON dicts (see :func:`repro.executor.run_task`),
+so the bytes a worker ships are exactly the bytes a cache file would
+hold — the transport can never perturb the determinism contract.
+
+Addresses are strings: ``"host:port"`` for TCP (port 0 = ephemeral) or
+``"unix:/path.sock"`` for unix-domain sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Optional, Tuple, Union
+
+__all__ = [
+    "connect",
+    "format_address",
+    "parse_address",
+    "recv_message",
+    "send_message",
+]
+
+#: (family, sockaddr) — what parse_address returns.
+Address = Tuple[int, Union[str, Tuple[str, int]]]
+
+
+def parse_address(address: str) -> Address:
+    """``"host:port"`` or ``"unix:/path"`` -> ``(family, sockaddr)``."""
+    if address.startswith("unix:"):
+        if not hasattr(socket, "AF_UNIX"):
+            raise ValueError("unix sockets are not supported on this platform")
+        return socket.AF_UNIX, address[len("unix:"):]
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        raise ValueError(
+            f"bad address {address!r}: expected 'host:port' or 'unix:/path'"
+        )
+    return socket.AF_INET, (host or "127.0.0.1", int(port))
+
+
+def format_address(family: int, sockaddr: Union[str, Tuple[str, int]]) -> str:
+    """The string form of a bound socket address (inverse of parse)."""
+    if hasattr(socket, "AF_UNIX") and family == socket.AF_UNIX:
+        return f"unix:{sockaddr}"
+    host, port = sockaddr[0], sockaddr[1]
+    return f"{host}:{port}"
+
+
+def connect(address: str, timeout: Optional[float] = None) -> socket.socket:
+    """Open a client connection to a server address string."""
+    family, sockaddr = parse_address(address)
+    sock = socket.socket(family, socket.SOCK_STREAM)
+    if timeout is not None:
+        sock.settimeout(timeout)
+    sock.connect(sockaddr)
+    return sock
+
+
+def send_message(wfile, message: dict) -> None:
+    """Write one message (compact JSON + newline) and flush."""
+    wfile.write(json.dumps(message, separators=(",", ":")).encode("utf-8"))
+    wfile.write(b"\n")
+    wfile.flush()
+
+
+def recv_message(rfile) -> Optional[Any]:
+    """Read one message; ``None`` on a clean EOF (peer went away)."""
+    line = rfile.readline()
+    if not line:
+        return None
+    return json.loads(line)

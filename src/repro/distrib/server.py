@@ -1,0 +1,246 @@
+"""The submitter-side work-queue server for distributed sweeps.
+
+A :class:`SweepServer` holds the pending ``(index, spec_dict)`` tasks of
+one sweep and serves them to worker connections one at a time: a worker
+gets a task, the server waits for its ``result``/``error`` message, then
+hands it the next.  Results land on an internal queue that
+:meth:`SweepServer.results` drains as an iterator — the streaming source
+:class:`repro.executor.WorkQueueBackend` plugs into ``execute_iter``.
+
+Fault model (the paper's, scaled down): a worker is allowed to die.  If
+a connection drops while a task is outstanding, the task goes back on
+the queue for another worker — up to ``max_resubmits`` extra attempts,
+after which it surfaces as a :class:`WorkerTaskError` (a spec that kills
+every worker that touches it should fail the sweep, not spin forever).
+A *runner* exception inside a healthy worker is not retried: specs are
+deterministic, so the error would simply repeat.  Workers stay connected
+(polling for requeued work) until every task has a result, so late
+resubmissions always have somewhere to go.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..executor import TaskDone
+from .protocol import format_address, parse_address, recv_message, send_message
+
+__all__ = ["SweepServer", "WorkerTaskError"]
+
+#: Default bind: loopback TCP on an ephemeral port.
+DEFAULT_ADDRESS = "127.0.0.1:0"
+
+
+class WorkerTaskError(RuntimeError):
+    """A sweep task failed on the worker side (runner raised, or the
+    task exhausted its resubmission budget)."""
+
+
+class _Failure:
+    __slots__ = ("index", "error", "traceback")
+
+    def __init__(self, index: int, error: str, traceback: str = ""):
+        self.index = index
+        self.error = error
+        self.traceback = traceback
+
+
+class SweepServer:
+    """Serve one sweep's tasks to worker connections (see module docs)."""
+
+    def __init__(self, tasks: Sequence[Tuple[int, dict]],
+                 cache_root: Optional[str] = None,
+                 max_resubmits: int = 3):
+        self._tasks = list(tasks)
+        self._total = len(self._tasks)
+        self._cache_root = cache_root
+        self._max_resubmits = max_resubmits
+        self._todo: "queue.Queue[Tuple[int, dict]]" = queue.Queue()
+        for task in self._tasks:
+            self._todo.put(task)
+        self._out: "queue.Queue[object]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._attempts: Dict[int, int] = {}
+        self._completed = 0
+        self._active_workers = 0
+        self._ever_connected = False
+        self._closing = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._unix_path: Optional[str] = None
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, address: Optional[str] = None) -> str:
+        """Bind, listen, and start accepting; returns the bound address."""
+        address = address or DEFAULT_ADDRESS
+        family, sockaddr = parse_address(address)
+        self._listener = socket.socket(family, socket.SOCK_STREAM)
+        if family == socket.AF_INET:
+            self._listener.setsockopt(socket.SOL_SOCKET,
+                                      socket.SO_REUSEADDR, 1)
+        else:
+            self._unix_path = str(sockaddr)
+        self._listener.bind(sockaddr)
+        self._listener.listen()
+        bound = format_address(family, self._listener.getsockname())
+        acceptor = threading.Thread(target=self._accept_loop,
+                                    name="sweep-server-accept", daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+        return bound
+
+    def close(self) -> None:
+        self._closing.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._unix_path is not None:
+            import os
+
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+
+    # -- submitter side -----------------------------------------------------
+
+    def results(self, procs: Sequence = (),
+                startup_timeout: float = 60.0) -> Iterator[TaskDone]:
+        """Yield one :class:`~repro.executor.TaskDone` per task.
+
+        ``procs`` are the spawned worker processes (``subprocess.Popen``
+        objects) used for liveness: if every one has exited, none is
+        connected, and tasks remain, the sweep raises instead of
+        hanging.  ``startup_timeout`` bounds the wait for the *first*
+        worker to appear.
+        """
+        import time
+
+        yielded = 0
+        deadline = time.monotonic() + startup_timeout
+        while yielded < self._total:
+            try:
+                item = self._out.get(timeout=0.5)
+            except queue.Empty:
+                with self._lock:
+                    connected = self._active_workers
+                    seen_any = self._ever_connected
+                if connected == 0:
+                    if procs and all(p.poll() is not None for p in procs):
+                        raise WorkerTaskError(
+                            f"all {len(procs)} worker(s) exited with "
+                            f"{self._total - yielded} task(s) unfinished"
+                        )
+                    if not seen_any and time.monotonic() > deadline:
+                        raise WorkerTaskError(
+                            f"no worker connected within {startup_timeout:.0f}s"
+                        )
+                continue
+            if isinstance(item, _Failure):
+                detail = f"\n{item.traceback}" if item.traceback else ""
+                raise WorkerTaskError(
+                    f"task {item.index} failed on a worker: "
+                    f"{item.error}{detail}"
+                )
+            yielded += 1
+            yield item
+
+    # -- worker side --------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            handler = threading.Thread(target=self._serve_conn, args=(conn,),
+                                       name="sweep-server-worker",
+                                       daemon=True)
+            handler.start()
+            self._threads.append(handler)
+
+    def _deliver(self, item) -> None:
+        with self._lock:
+            self._completed += 1
+        self._out.put(item)
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        with self._lock:
+            self._active_workers += 1
+            self._ever_connected = True
+        rfile = conn.makefile("rb")
+        wfile = conn.makefile("wb")
+        outstanding: Optional[Tuple[int, dict]] = None
+        try:
+            hello = recv_message(rfile)
+            if not isinstance(hello, dict) or hello.get("op") != "hello":
+                return
+            send_message(wfile, {"op": "welcome", "cache": self._cache_root})
+            while not self._closing.is_set():
+                try:
+                    task = self._todo.get(timeout=0.2)
+                except queue.Empty:
+                    with self._lock:
+                        done = self._completed >= self._total
+                    if done:
+                        send_message(wfile, {"op": "bye"})
+                        return
+                    continue  # idle, but a resubmission may still arrive
+                index, spec_dict = task
+                with self._lock:
+                    self._attempts[index] = self._attempts.get(index, 0) + 1
+                outstanding = task
+                send_message(wfile, {"op": "task", "id": index,
+                                     "spec": spec_dict})
+                msg = recv_message(rfile)
+                if not isinstance(msg, dict) or msg.get("id") != index:
+                    raise ConnectionError("worker hung up mid-task")
+                if msg.get("op") == "result":
+                    outstanding = None
+                    self._deliver(TaskDone(
+                        index, msg["payload"], bool(msg.get("cached")),
+                        float(msg.get("seconds", 0.0)),
+                    ))
+                elif msg.get("op") == "error":
+                    # deterministic runner failure: retrying would repeat it
+                    outstanding = None
+                    self._deliver(_Failure(index, str(msg.get("error", "?")),
+                                           str(msg.get("traceback", ""))))
+                else:
+                    raise ConnectionError(
+                        f"unexpected worker message {msg.get('op')!r}"
+                    )
+        except (ConnectionError, OSError, ValueError):
+            pass  # connection-level failure: handled by requeue below
+        finally:
+            if outstanding is not None:
+                self._requeue(outstanding)
+            with self._lock:
+                self._active_workers -= 1
+            for f in (rfile, wfile):
+                try:
+                    f.close()
+                except OSError:
+                    pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _requeue(self, task: Tuple[int, dict]) -> None:
+        index = task[0]
+        with self._lock:
+            attempts = self._attempts.get(index, 0)
+        if attempts > self._max_resubmits:
+            self._deliver(_Failure(
+                index,
+                f"crashed its worker on every one of {attempts} attempt(s)",
+            ))
+        else:
+            self._todo.put(task)

@@ -1,0 +1,112 @@
+"""Work-queue worker client: drain sweep tasks from a SweepServer.
+
+Run one (or many, on any host that can reach the server and import
+``repro``)::
+
+    python -m repro.distrib.worker --connect 127.0.0.1:41733
+    python -m repro.distrib.worker --connect unix:/tmp/sweep.sock \\
+        --cache /shared/.runcache
+
+The loop is deliberately dumb: hello, then pull one task at a time, run
+it through :func:`repro.executor.run_task` (cache read-through included)
+and ship the canonical payload back.  A runner exception becomes an
+``error`` message — the worker itself survives and asks for the next
+task.  The server owns all scheduling and retry policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import traceback
+from typing import List, Optional
+
+from ..executor import run_task
+from .protocol import connect, recv_message, send_message
+
+__all__ = ["main", "serve"]
+
+
+def serve(address: str, name: str = "worker",
+          cache_root: Optional[str] = None,
+          connect_timeout: float = 30.0) -> int:
+    """Connect to ``address`` and process tasks until told to stop.
+
+    Returns the number of tasks completed.  ``cache_root`` overrides the
+    cache directory the server advertises (pass a path that is valid on
+    *this* host when the submitter's path is not).
+    """
+    sock = connect(address, timeout=connect_timeout)
+    sock.settimeout(None)  # task runs are unbounded; the server paces us
+    rfile = sock.makefile("rb")
+    wfile = sock.makefile("wb")
+    done = 0
+    try:
+        send_message(wfile, {"op": "hello", "worker": name})
+        welcome = recv_message(rfile)
+        if not isinstance(welcome, dict) or welcome.get("op") != "welcome":
+            return done
+        root = cache_root if cache_root is not None else welcome.get("cache")
+        while True:
+            msg = recv_message(rfile)
+            if not isinstance(msg, dict) or msg.get("op") == "bye":
+                return done
+            if msg.get("op") != "task":
+                return done
+            t0 = time.perf_counter()
+            try:
+                payload, cached = run_task(msg["spec"], root)
+            except Exception as exc:  # noqa: BLE001 - shipped to submitter
+                send_message(wfile, {
+                    "op": "error",
+                    "id": msg["id"],
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                })
+                continue
+            send_message(wfile, {
+                "op": "result",
+                "id": msg["id"],
+                "payload": payload,
+                "cached": cached,
+                "seconds": time.perf_counter() - t0,
+            })
+            done += 1
+    finally:
+        for f in (rfile, wfile):
+            try:
+                f.close()
+            except OSError:
+                pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distrib.worker",
+        description="Sweep worker: drain RunSpec tasks from a work-queue "
+        "server.",
+    )
+    parser.add_argument("--connect", required=True, metavar="ADDR",
+                        help="server address: HOST:PORT or unix:/path.sock")
+    parser.add_argument("--name", default="worker",
+                        help="worker name reported to the server")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="result-cache directory on this host "
+                        "(default: whatever the server advertises)")
+    args = parser.parse_args(argv)
+    try:
+        done = serve(args.connect, name=args.name, cache_root=args.cache)
+    except (ConnectionError, OSError) as exc:
+        print(f"{args.name}: connection failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.name}: {done} task(s) done", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

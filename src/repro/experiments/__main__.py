@@ -7,12 +7,20 @@
     python -m repro.experiments --jobs 4             # parallel sweeps
     python -m repro.experiments --no-cache           # always re-simulate
     python -m repro.experiments --verify             # golden (byte-identical) profile
+    python -m repro.experiments --backend workqueue --workers 4
+                                                     # distributed sweeps
 
 Sweeps inside each experiment fan out over ``--jobs`` worker processes
-and memoise results in a content-addressed on-disk cache (default
-``.runcache/``); a re-run with identical specs replays from the cache in
-seconds.  Results are numerically identical for any ``--jobs`` value and
-for cache hits — every path round-trips through the same canonical JSON.
+(or, with ``--backend workqueue``, over worker *clients* pulling tasks
+from a work-queue server) and memoise results in a content-addressed
+on-disk cache (default ``.runcache/``); a re-run with identical specs
+replays from the cache in seconds.  Results are numerically identical
+for any ``--jobs`` value, any backend, and for cache hits — every path
+round-trips through the same canonical JSON.
+
+The CLI builds one frozen :class:`~repro.experiments.common.Execution`
+from its flags and threads it explicitly through every experiment's
+``main(...)`` — there is no module-global execution state.
 """
 
 from __future__ import annotations
@@ -21,12 +29,11 @@ import argparse
 import os
 import time
 
-from ..executor import DEFAULT_CACHE_DIR, ResultCache
+from ..executor import DEFAULT_CACHE_DIR, ResultCache, WorkQueueBackend
 from . import (
     abl_granularity,
     abl_links,
     abl_sync_async,
-    common,
     exp_availability,
     exp_balancing,
     exp_cf_failover,
@@ -42,6 +49,7 @@ from . import (
     fig3_scalability,
     tab1_overhead,
 )
+from .common import Execution
 
 ALL = (
     fig3_scalability,
@@ -90,6 +98,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes per sweep (0 = one per CPU; default 1, "
         "in-process)",
+    )
+    parser.add_argument(
+        "--backend", choices=("local", "workqueue"), default="local",
+        help="sweep executor backend: 'local' (process pool, the "
+        "default) or 'workqueue' (work-queue server + spawned worker "
+        "clients over a socket)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker clients for --backend workqueue (0 = one per CPU; "
+        "default 2)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -145,15 +164,19 @@ def main(argv=None) -> None:
     if args.profile is not None:
         # profile the actual simulation: in-process, cache off — a pool
         # of workers or a cache replay would leave the profile empty
-        args.jobs, args.no_cache = 1, True
+        args.jobs, args.no_cache, args.backend = 1, True, "local"
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if args.expect_no_misses and cache is None:
         raise SystemExit("--expect-no-misses needs the cache "
                          "(drop --no-cache)")
-    common.set_execution(jobs=jobs, cache=cache, csv_dir=args.csv_dir,
-                         progress=True,
-                         profile="verify" if args.verify else None)
+    backend = None
+    if args.backend == "workqueue":
+        workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+        backend = WorkQueueBackend(workers=workers)
+    execution = Execution(jobs=jobs, backend=backend, cache=cache,
+                          csv_dir=args.csv_dir, progress=True,
+                          profile="verify" if args.verify else None)
 
     quick = not args.full
     t0 = time.time()
@@ -163,7 +186,7 @@ def main(argv=None) -> None:
             print("\n" + "#" * 72)
             print("#", mod.__name__)
             print("#" * 72)
-            mod.main(quick=quick, seed=args.seed)
+            mod.main(quick=quick, seed=args.seed, execution=execution)
 
     if args.profile is not None:
         import cProfile
@@ -186,10 +209,12 @@ def main(argv=None) -> None:
                       "(inspect with: python -m pstats)")
     else:
         run_selected()
+    how = (f"workqueue x{backend.parallelism()}" if backend is not None
+           else f"jobs={jobs}")
     line = (
         f"\n{len(selected)}/{len(ALL)} experiments done in "
         f"{time.time() - t0:.0f}s "
-        f"({'quick' if quick else 'full'} settings, jobs={jobs}"
+        f"({'quick' if quick else 'full'} settings, {how}"
     )
     if cache is not None:
         line += f", cache {cache.hits} hits / {cache.misses} misses"

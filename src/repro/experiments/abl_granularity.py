@@ -17,7 +17,7 @@ collapses into a convoy while record locking keeps scaling.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 from ..hardware.dasd import DasdDevice
@@ -26,7 +26,7 @@ from ..runspec import RunSpec
 from ..simkernel import Tally
 from ..subsystems.logmgr import LogManager
 from ..subsystems.vsam import VsamCatalog, VsamRls
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_granularity", "granularity_specs", "main"]
 
@@ -127,19 +127,23 @@ def run_case_spec(spec: RunSpec) -> dict:
 
 def run_granularity(n_systems: int = 4, hot_records: int = 800,
                     duration: float = 0.8, warmup: float = 0.3,
-                    seed: int = 1) -> Dict:
+                    seed: int = 1,
+                    execution: Optional[Execution] = None) -> Dict:
     rows = sweep(granularity_specs(n_systems, hot_records, duration,
-                                   warmup, seed))
+                                   warmup, seed), execution=execution)
     return {"rows": rows}
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
-    out = run_granularity(duration=0.8 if quick else 2.0, seed=seed)
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
+    out = run_granularity(duration=0.8 if quick else 2.0, seed=seed,
+                          execution=execution)
     print_rows(
         "ABL-GRAN — record-level vs CI-level locking (hot keyed updates)",
         out["rows"],
         ["granularity", "systems", "throughput", "mean_rt_ms", "p95_ms",
          "lock_waits", "deadlocks"],
+        execution=execution,
     )
     return out
 

@@ -10,11 +10,11 @@ through.  We run the OLTP workload at both speeds, plus a hypothetical
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..config import LinkConfig
 from ..runspec import RunSpec
-from .common import QUICK, print_rows, scaled_config, sweep
+from .common import QUICK, Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_links", "links_specs", "main"]
 
@@ -44,8 +44,10 @@ def links_specs(bandwidths=BANDWIDTHS,
 def run_links(bandwidths=BANDWIDTHS,
               duration: float = QUICK["duration"],
               warmup: float = QUICK["warmup"],
-              seed: int = 1) -> Dict:
-    results = sweep(links_specs(bandwidths, duration, warmup, seed))
+              seed: int = 1,
+              execution: Optional[Execution] = None) -> Dict:
+    results = sweep(links_specs(bandwidths, duration, warmup, seed),
+                    execution=execution)
     base = results[0]
     base_cpu = base.mean_utilization * base.duration / max(base.completed, 1)
     rows: List[dict] = []
@@ -64,14 +66,17 @@ def run_links(bandwidths=BANDWIDTHS,
     return {"rows": rows}
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
     kw = QUICK if quick else {"duration": 1.0, "warmup": 0.5}
-    out = run_links(duration=kw["duration"], warmup=kw["warmup"], seed=seed)
+    out = run_links(duration=kw["duration"], warmup=kw["warmup"],
+                    seed=seed, execution=execution)
     print_rows(
         "ABL-LINK — coupling link bandwidth vs data-sharing cost (2-way)",
         out["rows"],
         ["link_MB_per_s", "page_transfer_us", "cpu_ms_per_txn",
          "ds_tax_pct", "throughput", "p95_ms"],
+        execution=execution,
     )
     return out
 

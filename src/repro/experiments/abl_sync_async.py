@@ -14,7 +14,7 @@ the trade the real product exposes as a heuristic).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..cf.commands import CfPort
 from ..cf.facility import CouplingFacility
@@ -24,7 +24,7 @@ from ..hardware.links import LinkSet
 from ..hardware.system import SystemNode
 from ..runspec import RunSpec
 from ..simkernel import Simulator, Tally
-from .common import print_rows, sweep
+from .common import Execution, print_rows, sweep
 
 __all__ = ["run_sync_async", "sync_async_specs", "main"]
 
@@ -89,8 +89,9 @@ def run_case_spec(spec: RunSpec) -> dict:
     }
 
 
-def run_sync_async(latencies: Sequence[float] = LATENCIES) -> Dict:
-    rows = sweep(sync_async_specs(latencies))
+def run_sync_async(latencies: Sequence[float] = LATENCIES,
+                   execution: Optional[Execution] = None) -> Dict:
+    rows = sweep(sync_async_specs(latencies), execution=execution)
     # find the crossover: smallest latency where async burns less CPU
     crossover = None
     for lat in latencies:
@@ -103,12 +104,14 @@ def run_sync_async(latencies: Sequence[float] = LATENCIES) -> Dict:
     return {"rows": rows, "summary": {"async_wins_at_us": crossover}}
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
-    out = run_sync_async()
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
+    out = run_sync_async(execution=execution)
     print_rows(
         "ABL-SYNC — sync vs async CF command execution",
         out["rows"],
         ["mode", "link_latency_us", "cpu_us_per_op", "latency_us"],
+        execution=execution,
     )
     c = out["summary"]["async_wins_at_us"]
     print(f"\nasync first wins on CPU at link latency: "

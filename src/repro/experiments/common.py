@@ -8,12 +8,18 @@ experiment function returns plain data (lists of dict rows) plus offers a
 paper's tables.
 
 Experiments *declare* their sweep as a list of
-:class:`~repro.runspec.RunSpec` and hand it to :func:`sweep`, which
-forwards to :func:`repro.executor.execute` using the session-wide
-execution options (process-pool width, result cache) that the
-``python -m repro.experiments`` CLI configures via :func:`set_execution`.
-Called directly — as the pytest-benchmark harness does — the defaults
-are ``jobs=1`` and no cache, i.e. plain in-process runs.
+:class:`~repro.runspec.RunSpec` and hand it to :func:`sweep` together
+with an :class:`Execution` — a frozen value object describing *how* to
+run it (backend, pool width, result cache, progress reporting, CSV
+archiving, forced execution profile).  The ``python -m
+repro.experiments`` CLI builds one Execution from its flags and threads
+it explicitly through every experiment's ``main(...)``; called directly
+— as the pytest-benchmark harness does — ``execution=None`` means the
+defaults: in-process runs, no cache, no progress.
+
+The pre-redesign module-global session state (``set_execution``) still
+exists as a deprecated shim for one release; it rebinds the fallback
+Execution that ``sweep``/``print_rows`` use when none is passed.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from __future__ import annotations
 import csv
 import re
 import sys
+import warnings
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -29,10 +37,16 @@ from ..config import (
     DatabaseConfig,
     SysplexConfig,
 )
-from ..executor import ResultCache, execute
+from ..executor import (
+    ExecutorBackend,
+    Progress,
+    ResultCache,
+    execute,
+)
 from ..runspec import RunSpec
 
 __all__ = [
+    "Execution",
     "scaled_config",
     "print_rows",
     "write_csv",
@@ -47,16 +61,57 @@ QUICK = {"duration": 0.4, "warmup": 0.3}
 #: full settings: for the standalone scripts
 FULL = {"duration": 1.5, "warmup": 0.8}
 
-#: Session-wide execution options, set once by the CLI.  ``jobs=1`` and
-#: ``cache=None`` keep library/benchmark callers on the exact
-#: pre-executor in-process behavior.
-EXECUTION: Dict[str, Any] = {
-    "jobs": 1,
-    "cache": None,
-    "csv_dir": None,
-    "progress": False,
-    "profile": None,
-}
+
+@dataclass(frozen=True)
+class Execution:
+    """How a sweep executes — a frozen config threaded through explicitly.
+
+    * ``jobs`` — width of the default local pool (1 = in-process);
+    * ``backend`` — an :class:`~repro.executor.ExecutorBackend` overriding
+      the local pool (e.g. a :class:`~repro.executor.WorkQueueBackend`);
+    * ``cache`` — a :class:`~repro.executor.ResultCache`, a directory
+      path, or None;
+    * ``csv_dir`` — when set, every :func:`print_rows` table is archived
+      there as CSV;
+    * ``progress`` — stream per-point progress/ETA lines to stderr;
+    * ``profile`` — force every sweep spec onto one execution profile
+      (``"verify"`` for the golden byte-identical configuration); None
+      leaves each spec's own ``options.profile`` in charge.
+
+    Being frozen, an Execution can be shared, compared, and defaulted
+    without action-at-a-distance: whoever holds one knows exactly how
+    their sweep will run.
+    """
+
+    jobs: int = 1
+    backend: Optional[ExecutorBackend] = field(default=None, compare=False)
+    cache: Union[None, str, Path, ResultCache] = field(default=None,
+                                                       compare=False)
+    csv_dir: Optional[Path] = None
+    progress: bool = False
+    profile: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "jobs", max(1, int(self.jobs)))
+        if self.csv_dir is not None:
+            object.__setattr__(self, "csv_dir", Path(self.csv_dir))
+
+    def replace(self, **changes) -> "Execution":
+        """A copy with ``changes`` applied (frozen-dataclass friendly)."""
+        return replace(self, **changes)
+
+    def parallelism(self) -> int:
+        if self.backend is not None:
+            return self.backend.parallelism()
+        return self.jobs
+
+
+#: What ``execution=None`` means: plain in-process runs, nothing else.
+DEFAULT_EXECUTION = Execution()
+
+#: Fallback used when no Execution is passed — only the deprecated
+#: :func:`set_execution` shim ever rebinds this away from the default.
+_SESSION: Execution = DEFAULT_EXECUTION
 
 _UNSET = object()
 
@@ -67,49 +122,66 @@ def set_execution(jobs: Optional[int] = None,
                   csv_dir: Union[None, str, Path, object] = _UNSET,
                   progress: Optional[bool] = None,
                   profile: Union[None, str, object] = _UNSET) -> None:
-    """Configure how :func:`sweep` executes (the CLI calls this once).
+    """Deprecated shim over the old module-global session state.
 
-    ``profile`` forces every sweep spec onto one execution profile
-    (``"verify"`` for the golden byte-identical configuration); ``None``
-    leaves each spec's own ``options.profile`` in charge.
+    Build an :class:`Execution` and pass it to :func:`sweep` (and the
+    experiment ``main``/``run_*`` functions) instead; this shim survives
+    one release for callers that configured the session globally.  It
+    rebinds the fallback Execution used when ``sweep`` is called with
+    ``execution=None``.
     """
+    warnings.warn(
+        "set_execution() is deprecated: build an "
+        "repro.experiments.common.Execution and pass it to sweep() / "
+        "the experiment entry points instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    global _SESSION
+    changes: Dict[str, Any] = {}
     if jobs is not None:
-        EXECUTION["jobs"] = max(1, int(jobs))
+        changes["jobs"] = jobs
     if cache is not _UNSET:
-        EXECUTION["cache"] = cache
+        changes["cache"] = cache
     if csv_dir is not _UNSET:
-        EXECUTION["csv_dir"] = Path(csv_dir) if csv_dir else None
+        changes["csv_dir"] = Path(csv_dir) if csv_dir else None
     if progress is not None:
-        EXECUTION["progress"] = progress
+        changes["progress"] = progress
     if profile is not _UNSET:
-        EXECUTION["profile"] = profile
+        changes["profile"] = profile
+    _SESSION = _SESSION.replace(**changes)
+
+
+def _effective(execution: Optional[Execution]) -> Execution:
+    return execution if execution is not None else _SESSION
 
 
 def sweep(specs: Sequence[RunSpec],
+          execution: Optional[Execution] = None,
           jobs: Optional[int] = None,
           cache: Union[None, str, Path, ResultCache, object] = _UNSET
           ) -> List[Any]:
-    """Execute a declared sweep under the session execution options.
+    """Execute a declared sweep under an :class:`Execution`.
 
     Results come back in spec order; each is a
     :class:`~repro.metrics.RunResult` or the scenario runner's plain-data
-    payload.  Explicit ``jobs``/``cache`` override the session options
-    (pass ``cache=None`` to force a cache-off run).
+    payload.  ``execution=None`` falls back to the session default
+    (plain in-process runs unless the deprecated :func:`set_execution`
+    changed it).  Explicit ``jobs``/``cache`` override the Execution's
+    fields (pass ``cache=None`` to force a cache-off run).
     """
-    jobs = EXECUTION["jobs"] if jobs is None else jobs
-    cache = EXECUTION["cache"] if cache is _UNSET else cache
-    on_result = _progress_line if EXECUTION["progress"] else None
-    forced = EXECUTION["profile"]
-    if forced is not None:
-        specs = [s.replace(profile=forced) for s in specs]
-    return execute(specs, jobs=jobs, cache=cache, on_result=on_result)
-
-
-def _progress_line(index: int, spec: RunSpec, result: Any,
-                   cached: bool, seconds: float) -> None:
-    label = spec.label or spec.runner
-    note = "cache" if cached else f"{seconds:5.1f}s"
-    print(f"  [{note}] {label}", file=sys.stderr, flush=True)
+    ex = _effective(execution)
+    if jobs is not None:
+        ex = ex.replace(jobs=jobs)
+    if cache is not _UNSET:
+        ex = ex.replace(cache=cache)
+    if ex.profile is not None:
+        specs = [s.replace(profile=ex.profile) for s in specs]
+    progress = (Progress(len(specs), parallelism=ex.parallelism(),
+                         stream=sys.stderr)
+                if ex.progress else None)
+    return execute(specs, jobs=ex.jobs, cache=ex.cache, backend=ex.backend,
+                   progress=progress)
 
 
 def scaled_config(n_systems: int, n_cpus: int = 1,
@@ -134,12 +206,13 @@ def scaled_config(n_systems: int, n_cpus: int = 1,
 
 
 def print_rows(title: str, rows: List[dict], columns: List[str],
-               csv_path: Union[None, str, Path] = None) -> None:
+               csv_path: Union[None, str, Path] = None,
+               execution: Optional[Execution] = None) -> None:
     """Render rows as a fixed-width table (the bench harness output).
 
     ``csv_path`` additionally archives the table as a CSV artifact; when
-    the CLI sets a session ``csv_dir``, every printed table is archived
-    there under a slug of its title.
+    the governing :class:`Execution` carries a ``csv_dir``, every
+    printed table is archived there under a slug of its title.
     """
     print(f"\n== {title} ==")
     widths = {
@@ -151,8 +224,9 @@ def print_rows(title: str, rows: List[dict], columns: List[str],
     print("-" * len(header))
     for r in rows:
         print("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
-    if csv_path is None and EXECUTION["csv_dir"] is not None:
-        csv_path = EXECUTION["csv_dir"] / f"{_slug(title)}.csv"
+    csv_dir = _effective(execution).csv_dir
+    if csv_path is None and csv_dir is not None:
+        csv_path = csv_dir / f"{_slug(title)}.csv"
     if csv_path is not None:
         write_csv(csv_path, rows, columns)
 

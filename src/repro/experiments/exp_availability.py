@@ -14,12 +14,12 @@ paper §2.5's release-migration story) and verifies service continuity.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = [
     "run_availability",
@@ -113,10 +113,11 @@ def run_unplanned_spec(spec: RunSpec) -> Dict:
 def run_availability(n_systems: int = 4,
                      offered_fraction: float = 0.5,
                      window: float = 0.5,
-                     seed: int = 1) -> Dict:
+                     seed: int = 1,
+                     execution: Optional[Execution] = None) -> Dict:
     """Kill one of N systems; report the throughput timeline."""
     return sweep([availability_spec(n_systems, offered_fraction, window,
-                                    seed)])[0]
+                                    seed)], execution=execution)[0]
 
 
 def rolling_spec(n_systems: int = 3,
@@ -171,22 +172,26 @@ def run_rolling_spec(spec: RunSpec) -> Dict:
 
 def run_rolling_maintenance(n_systems: int = 3,
                             outage: float = 2.0,
-                            seed: int = 1) -> Dict:
+                            seed: int = 1,
+                            execution: Optional[Execution] = None) -> Dict:
     """Planned outages rolled one system at a time (§2.5)."""
-    return sweep([rolling_spec(n_systems, outage, seed)])[0]
+    return sweep([rolling_spec(n_systems, outage, seed)],
+                 execution=execution)[0]
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
     # both scenarios are independent: declare them together so a parallel
     # executor overlaps them
     out, roll = sweep([
         availability_spec(window=0.4 if quick else 0.6, seed=seed),
         rolling_spec(outage=1.2 if quick else 2.0, seed=seed),
-    ])
+    ], execution=execution)
     print_rows(
         "EXP-AVAIL — unplanned outage of 1 of 4 systems",
         out["timeline"],
         ["t", "throughput", "lost", "phase"],
+        execution=execution,
     )
     s = out["summary"]
     print(
@@ -199,6 +204,7 @@ def main(quick: bool = True, seed: int = 1) -> Dict:
         "EXP-AVAIL — planned rolling maintenance (3 systems)",
         roll["timeline"],
         ["t", "throughput", "down"],
+        execution=execution,
     )
     print(f"\nzero-throughput windows: "
           f"{roll['summary']['zero_throughput_windows']}")

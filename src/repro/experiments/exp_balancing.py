@@ -19,7 +19,7 @@ small = balanced), and lost transactions.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..baselines.partitioned import PartitionedCluster
 from ..options import RunOptions
@@ -27,7 +27,7 @@ from ..runspec import RunSpec
 from ..sysplex import Sysplex
 from ..workloads.oltp import OltpGenerator
 from ..workloads.traces import rotating_hotspot_trace
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_balancing", "balancing_specs", "main"]
 
@@ -129,10 +129,12 @@ def run_balancing(n_systems: int = 4,
                   spike_factor: float = 3.0,
                   duration: float = 1.2,
                   warmup: float = 0.4,
-                  seed: int = 1) -> Dict:
+                  seed: int = 1,
+                  execution: Optional[Execution] = None) -> Dict:
     """Compare architectures under the same skewed, shifting demand."""
     results = sweep(balancing_specs(n_systems, offered_per_system,
-                                    spike_factor, duration, warmup, seed))
+                                    spike_factor, duration, warmup, seed),
+                    execution=execution)
     rows = [
         {
             "architecture": r.label,
@@ -147,16 +149,18 @@ def run_balancing(n_systems: int = 4,
     return {"rows": rows}
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
     out = run_balancing(
         duration=0.9 if quick else 2.4, warmup=0.3 if quick else 0.8,
-        seed=seed,
+        seed=seed, execution=execution,
     )
     print_rows(
         "EXP-BAL — balancing under a rotating demand hotspot",
         out["rows"],
         ["architecture", "throughput", "mean_rt_ms", "p95_ms",
          "util_spread", "failed"],
+        execution=execution,
     )
     return out
 

@@ -13,11 +13,11 @@ and how much in-flight work was lost.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_cf_failover", "cf_failover_spec", "main"]
 
@@ -80,16 +80,21 @@ def run_cf_failover_spec(spec: RunSpec) -> Dict:
 
 def run_cf_failover(n_systems: int = 4,
                     window: float = 0.3,
-                    seed: int = 1) -> Dict:
-    return sweep([cf_failover_spec(n_systems, window, seed)])[0]
+                    seed: int = 1,
+                    execution: Optional[Execution] = None) -> Dict:
+    return sweep([cf_failover_spec(n_systems, window, seed)],
+                 execution=execution)[0]
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
-    out = run_cf_failover(window=0.3 if quick else 0.5, seed=seed)
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
+    out = run_cf_failover(window=0.3 if quick else 0.5, seed=seed,
+                          execution=execution)
     print_rows(
         "EXP-CFFAIL — losing 1 of 2 Coupling Facilities mid-run",
         out["timeline"],
         ["t", "throughput", "lost", "phase"],
+        execution=execution,
     )
     s = out["summary"]
     print(

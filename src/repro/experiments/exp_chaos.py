@@ -35,7 +35,7 @@ from ..invariants import InvariantChecker, check_reconvergence
 from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = [
     "chaos_spec",
@@ -238,9 +238,11 @@ def _live_ports(plex) -> List:
     return ports
 
 
-def run_chaos(n_systems: int = 3, seed: int = 1, **kw) -> Dict:
+def run_chaos(n_systems: int = 3, seed: int = 1,
+              execution: Optional[Execution] = None, **kw) -> Dict:
     """One chaos run (library entry point)."""
-    return sweep([chaos_spec(n_systems, seed, **kw)])[0]
+    return sweep([chaos_spec(n_systems, seed, **kw)],
+                 execution=execution)[0]
 
 
 def soak_specs(n_seeds: int = 20, seed0: int = 1, **kw) -> List[RunSpec]:
@@ -248,10 +250,11 @@ def soak_specs(n_seeds: int = 20, seed0: int = 1, **kw) -> List[RunSpec]:
     return [chaos_spec(seed=seed0 + i, **kw) for i in range(n_seeds)]
 
 
-def run_soak(n_seeds: int = 20, seed0: int = 1, **kw) -> Dict:
+def run_soak(n_seeds: int = 20, seed0: int = 1,
+             execution: Optional[Execution] = None, **kw) -> Dict:
     """Run the soak and aggregate the per-seed invariant reports."""
     specs = soak_specs(n_seeds, seed0, **kw)
-    payloads = sweep(specs)
+    payloads = sweep(specs, execution=execution)
     rows = []
     violations = []
     for spec, payload in zip(specs, payloads):
@@ -281,10 +284,12 @@ def run_soak(n_seeds: int = 20, seed0: int = 1, **kw) -> Dict:
     }
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
     n_seeds = 3 if quick else 8
     out = run_soak(
         n_seeds=n_seeds, seed0=seed,
+        execution=execution,
         horizon=4.0 if quick else 8.0,
         drain=2.0 if quick else 3.0,
     )
@@ -293,6 +298,7 @@ def main(quick: bool = True, seed: int = 1) -> Dict:
         out["rows"],
         ["label", "completed", "failed", "lost", "rebuilds", "iccs",
          "retries", "degraded", "ok"],
+        execution=execution,
     )
     if out["violations"]:
         print(f"\nINVARIANT VIOLATIONS ({len(out['violations'])}):")
@@ -321,23 +327,27 @@ def _cli(argv: Optional[List[str]] = None) -> int:
                         help="chaos window in simulated seconds")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel worker processes (0 = one per CPU)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache directory")
+    parser.add_argument("--csv-dir", default=None, metavar="DIR",
+                        help="archive printed tables as CSV under DIR")
     parser.add_argument("--report", default=None, metavar="PATH",
                         help="write the violation report as JSON to PATH")
     args = parser.parse_args(argv)
 
     import os
 
-    from .common import set_execution
-
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
-    set_execution(jobs=jobs, progress=True)
+    execution = Execution(jobs=jobs, progress=True, cache=args.cache_dir,
+                          csv_dir=args.csv_dir)
     out = run_soak(n_seeds=args.seeds, seed0=args.seed0,
-                   horizon=args.horizon)
+                   horizon=args.horizon, execution=execution)
     print_rows(
         f"chaos soak — {args.seeds} seeds",
         out["rows"],
         ["label", "completed", "failed", "lost", "rebuilds", "iccs",
          "retries", "degraded", "ok"],
+        execution=execution,
     )
     if args.report:
         with open(args.report, "w", encoding="utf-8") as fh:

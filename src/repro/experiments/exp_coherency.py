@@ -16,12 +16,12 @@ sweeping N.  Reported per point: CPU ms per transaction (overhead grows
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..baselines.broadcast import BroadcastCluster
 from ..runspec import RunSpec
 from ..workloads.oltp import OltpGenerator
-from .common import QUICK, print_rows, scaled_config
+from .common import QUICK, Execution, print_rows, scaled_config
 from .common import sweep as _sweep
 
 __all__ = ["run_coherency", "coherency_specs", "main"]
@@ -76,8 +76,10 @@ def coherency_specs(sweep: Sequence[int] = SWEEP,
 def run_coherency(sweep: Sequence[int] = SWEEP,
                   duration: float = QUICK["duration"],
                   warmup: float = QUICK["warmup"],
-                  seed: int = 1) -> Dict:
-    results = _sweep(coherency_specs(sweep, duration, warmup, seed))
+                  seed: int = 1,
+                  execution: Optional[Execution] = None) -> Dict:
+    results = _sweep(coherency_specs(sweep, duration, warmup, seed),
+                     execution=execution)
     rows: List[dict] = []
     for i, n in enumerate(sweep):
         r_cf, r_bc = results[2 * i], results[2 * i + 1]
@@ -114,15 +116,17 @@ def check_shape(rows: List[dict]) -> List[str]:
     return problems
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
     kw = QUICK if quick else {"duration": 1.0, "warmup": 0.5}
     out = run_coherency(duration=kw["duration"], warmup=kw["warmup"],
-                        seed=seed)
+                        seed=seed, execution=execution)
     print_rows(
         "EXP-COHER — CF vs broadcast coherency",
         out["rows"],
         ["systems", "cf_cpu_ms", "bcast_cpu_ms", "cf_tput", "bcast_tput",
          "cf_p95_ms", "bcast_p95_ms", "bcast_inval_msgs"],
+        execution=execution,
     )
     problems = check_shape(out["rows"])
     print("\nshape check:", "OK" if not problems else problems)

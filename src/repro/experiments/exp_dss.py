@@ -12,12 +12,12 @@ the expected near-linear region followed by the coordination-bound tail.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from ..workloads.dss import Query, QuerySplitter
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_dss", "dss_specs", "main"]
 
@@ -66,8 +66,10 @@ def run_case_spec(spec: RunSpec) -> dict:
 def run_dss(n_systems: int = 8,
             scan_pages: int = 60_000,
             parallelism: Sequence[int] = PARALLELISM,
-            seed: int = 1) -> Dict:
-    points = sweep(dss_specs(n_systems, scan_pages, parallelism, seed))
+            seed: int = 1,
+            execution: Optional[Execution] = None) -> Dict:
+    points = sweep(dss_specs(n_systems, scan_pages, parallelism, seed),
+                   execution=execution)
     t_base = points[0]["elapsed_s"]
     rows: List[dict] = []
     for point in points:
@@ -99,12 +101,15 @@ def check_shape(rows: List[dict]) -> List[str]:
     return problems
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
-    out = run_dss(scan_pages=30_000 if quick else 120_000, seed=seed)
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
+    out = run_dss(scan_pages=30_000 if quick else 120_000, seed=seed,
+                  execution=execution)
     print_rows(
         "ABL-DSS — parallel query decomposition speedup (8 systems)",
         out["rows"],
         ["parallelism", "elapsed_s", "speedup", "efficiency"],
+        execution=execution,
     )
     problems = check_shape(out["rows"])
     print("\nshape check:", "OK" if not problems else problems)

@@ -14,14 +14,14 @@ surviving systems.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from ..subsystems.vtam import GenericResources
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_generic_resources", "generic_resources_spec", "main"]
 
@@ -132,16 +132,20 @@ def run_gr_spec(spec: RunSpec) -> Dict:
 
 def run_generic_resources(n_systems: int = 4,
                           n_users: int = 400,
-                          seed: int = 1) -> Dict:
-    return sweep([generic_resources_spec(n_systems, n_users, seed)])[0]
+                          seed: int = 1,
+                          execution: Optional[Execution] = None) -> Dict:
+    return sweep([generic_resources_spec(n_systems, n_users, seed)],
+                 execution=execution)[0]
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
-    out = run_generic_resources(seed=seed)
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
+    out = run_generic_resources(seed=seed, execution=execution)
     columns = ["policy"] + sorted(
         k for k in out["rows"][0] if k.startswith("SYS")
     ) + ["load_spread"]
-    print_rows("EXP-GR — session bind distribution", out["rows"], columns)
+    print_rows("EXP-GR — session bind distribution", out["rows"], columns,
+               execution=execution)
     s = out["summary"]
     print(
         f"\nGR balance index {s['gr_balance_index']:.2f} over {s['binds']} "

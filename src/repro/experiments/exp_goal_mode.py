@@ -19,13 +19,13 @@ policy (and with no batch at all, as the reference).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from ..workloads.dss import Query, QuerySplitter
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_goal_mode", "goal_mode_specs", "main"]
 
@@ -93,18 +93,22 @@ def run_case_spec(spec: RunSpec) -> dict:
     }
 
 
-def run_goal_mode(duration: float = 1.2, seed: int = 1) -> Dict:
-    rows = sweep(goal_mode_specs(duration, seed))
+def run_goal_mode(duration: float = 1.2, seed: int = 1,
+                  execution: Optional[Execution] = None) -> Dict:
+    rows = sweep(goal_mode_specs(duration, seed), execution=execution)
     return {"rows": rows}
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
-    out = run_goal_mode(duration=1.0 if quick else 2.4, seed=seed)
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
+    out = run_goal_mode(duration=1.0 if quick else 2.4, seed=seed,
+                        execution=execution)
     print_rows(
         "EXP-GOAL — WLM goal protection under mixed OLTP + query load",
         out["rows"],
         ["case", "oltp_tput", "oltp_p95_ms", "oltp_pi", "queries_done",
          "query_s"],
+        execution=execution,
     )
     return out
 

@@ -15,14 +15,14 @@ utilization ramp, and the partitioned baseline's outage window.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..baselines.partitioned import PartitionedCluster
 from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from ..workloads.oltp import OltpGenerator
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_growth", "growth_specs", "main"]
 
@@ -129,10 +129,12 @@ def run_partitioned_spec(spec: RunSpec) -> Dict:
 def run_growth(n_initial: int = 3,
                offered_per_system: float = 250.0,
                window: float = 0.4,
-               seed: int = 1) -> Dict:
+               seed: int = 1,
+               execution: Optional[Execution] = None) -> Dict:
     add_at = 4 * window
     plex_out, part_out = sweep(
-        growth_specs(n_initial, offered_per_system, window, seed)
+        growth_specs(n_initial, offered_per_system, window, seed),
+        execution=execution,
     )
     plex_timeline = plex_out["timeline"]
     part_timeline = part_out["timeline"]
@@ -156,12 +158,15 @@ def run_growth(n_initial: int = 3,
     }
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
-    out = run_growth(window=0.3 if quick else 0.5, seed=seed)
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
+    out = run_growth(window=0.3 if quick else 0.5, seed=seed,
+                     execution=execution)
     print_rows(
         "EXP-GROW — adding a system mid-run (sysplex vs partitioned)",
         out["timeline"],
         ["t", "sysplex_tput", "newcomer_util", "partitioned_tput"],
+        execution=execution,
     )
     s = out["summary"]
     print(

@@ -13,13 +13,13 @@ structure's signalling counters.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..options import RunOptions
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from ..subsystems.txn import ListQueueRouter
-from .common import QUICK, print_rows, scaled_config, sweep
+from .common import QUICK, Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_listqueue", "listqueue_specs", "main"]
 
@@ -84,22 +84,25 @@ def run_listqueue(n_systems: int = 4,
                   offered_total: float = 900.0,
                   duration: float = QUICK["duration"],
                   warmup: float = QUICK["warmup"],
-                  seed: int = 1) -> Dict:
+                  seed: int = 1,
+                  execution: Optional[Execution] = None) -> Dict:
     rows = sweep(listqueue_specs(n_systems, offered_total, duration,
-                                 warmup, seed))
+                                 warmup, seed), execution=execution)
     return {"rows": rows}
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
     kw = QUICK if quick else {"duration": 1.2, "warmup": 0.6}
     out = run_listqueue(duration=kw["duration"], warmup=kw["warmup"],
-                        seed=seed)
+                        seed=seed, execution=execution)
     print_rows(
         "EXP-LIST — shared CF work queue vs static assignment "
         "(single front-end)",
         out["rows"],
         ["distribution", "throughput", "mean_rt_ms", "p95_ms",
          "util_spread", "transitions_signalled"],
+        execution=execution,
     )
     return out
 

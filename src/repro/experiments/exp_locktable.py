@@ -16,14 +16,14 @@ Two measurements:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 from ..cf.lock import LockMode
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
 from ..simkernel import Tally
-from .common import QUICK, print_rows, scaled_config, sweep
+from .common import QUICK, Execution, print_rows, scaled_config, sweep
 
 __all__ = [
     "run_locktable_sweep",
@@ -84,8 +84,10 @@ def run_locktable_sweep(sizes: Sequence[int] = TABLE_SIZES,
                         n_systems: int = 4,
                         duration: float = QUICK["duration"],
                         warmup: float = QUICK["warmup"],
-                        seed: int = 1) -> Dict:
-    rows = sweep(locktable_specs(sizes, n_systems, duration, warmup, seed))
+                        seed: int = 1,
+                        execution: Optional[Execution] = None) -> Dict:
+    rows = sweep(locktable_specs(sizes, n_systems, duration, warmup, seed),
+                 execution=execution)
     return {"rows": rows}
 
 
@@ -126,17 +128,21 @@ def run_latency_spec(spec: RunSpec) -> Dict:
     }
 
 
-def run_grant_latency(n_samples: int = 400, seed: int = 1) -> Dict:
+def run_grant_latency(n_samples: int = 400, seed: int = 1,
+                      execution: Optional[Execution] = None) -> Dict:
     """Latency of uncontended sync lock requests on an idle sysplex."""
-    return sweep([grant_latency_spec(n_samples, seed)])[0]
+    return sweep([grant_latency_spec(n_samples, seed)],
+                 execution=execution)[0]
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
     kw = QUICK if quick else {"duration": 1.0, "warmup": 0.5}
     # the size sweep and the latency probe are independent: one sweep call
     specs = locktable_specs(duration=kw["duration"], warmup=kw["warmup"],
                             seed=seed)
-    results = sweep(specs + [grant_latency_spec(seed=seed)])
+    results = sweep(specs + [grant_latency_spec(seed=seed)],
+                    execution=execution)
     table = {"rows": results[:len(specs)]}
     lat = results[len(specs)]
     print_rows(
@@ -144,6 +150,7 @@ def main(quick: bool = True, seed: int = 1) -> Dict:
         table["rows"],
         ["lock_table_entries", "requests", "false_pct", "real_pct",
          "throughput", "p95_ms"],
+        execution=execution,
     )
     s = lat["summary"]
     print(

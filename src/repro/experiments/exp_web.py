@@ -16,7 +16,7 @@ connection-placement schemes, and one backend system dies mid-run:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..runner import build_loaded_sysplex
 from ..runspec import RunSpec
@@ -27,7 +27,7 @@ from ..subsystems.tcpip import (
     WebConfig,
     WebWorkload,
 )
-from .common import print_rows, scaled_config, sweep
+from .common import Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_web", "web_specs", "main"]
 
@@ -106,18 +106,23 @@ def run_case_spec(spec: RunSpec) -> dict:
 
 def run_web(n_systems: int = 4, rate: float = 700.0,
             duration: float = 1.8, warmup: float = 0.4,
-            seed: int = 1) -> Dict:
-    rows = sweep(web_specs(n_systems, rate, duration, warmup, seed))
+            seed: int = 1,
+            execution: Optional[Execution] = None) -> Dict:
+    rows = sweep(web_specs(n_systems, rate, duration, warmup, seed),
+                 execution=execution)
     return {"rows": rows}
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
-    out = run_web(duration=1.8 if quick else 4.0, seed=seed)
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
+    out = run_web(duration=1.8 if quick else 4.0, seed=seed,
+                  execution=execution)
     print_rows(
         "EXP-WEB — web serving: connection placement under a backend loss",
         out["rows"],
         ["scheme", "killed", "requests_per_s", "p95_ms", "conns_refused",
          "conns_broken", "takeovers"],
+        execution=execution,
     )
     return out
 

@@ -14,11 +14,11 @@ the 1-engine non-data-sharing system's throughput.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..options import RunOptions
 from ..runspec import RunSpec
-from .common import QUICK, print_rows, scaled_config, sweep
+from .common import QUICK, Execution, print_rows, scaled_config, sweep
 
 __all__ = ["run_fig3", "fig3_specs", "main"]
 
@@ -63,7 +63,8 @@ def run_fig3(tcmp_points: Sequence[int] = TCMP_POINTS,
              duration: float = QUICK["duration"],
              warmup: float = QUICK["warmup"],
              seed: int = 1,
-             tracing: bool = False) -> Dict[str, List[dict]]:
+             tracing: bool = False,
+             execution: Optional[Execution] = None) -> Dict[str, List[dict]]:
     """Measure the three Figure-3 series; returns {series: rows}.
 
     ``tracing=True`` attaches the span tracer to every run so each row
@@ -71,7 +72,7 @@ def run_fig3(tcmp_points: Sequence[int] = TCMP_POINTS,
     sweep reaches 32 systems and the span log gets large.
     """
     results = sweep(fig3_specs(tcmp_points, plex_points, duration, warmup,
-                               seed, tracing))
+                               seed, tracing), execution=execution)
     base, tcmp_results = results[0], results[1:1 + len(tcmp_points)]
     plex_results = results[1 + len(tcmp_points):]
     base_tput = base.throughput
@@ -140,15 +141,17 @@ def check_shape(series: Dict[str, List[dict]]) -> List[str]:
     return problems
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict[str, List[dict]]:
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict[str, List[dict]]:
     kw = QUICK if quick else {"duration": 1.0, "warmup": 0.6}
     series = run_fig3(duration=kw["duration"], warmup=kw["warmup"],
-                      seed=seed)
+                      seed=seed, execution=execution)
     for name in ("ideal", "tcmp", "sysplex"):
         cols = ["physical", "effective", "efficiency"]
         if name != "ideal":
             cols += ["itr_effective", "itr_efficiency", "throughput", "util"]
-        print_rows(f"Figure 3 — {name.upper()}", series[name], cols)
+        print_rows(f"Figure 3 — {name.upper()}", series[name], cols,
+                   execution=execution)
     problems = check_shape(series)
     print("\nshape check:", "OK" if not problems else problems)
     return series

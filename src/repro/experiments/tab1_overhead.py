@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from ..options import RunOptions
 from ..runspec import RunSpec
 from ..trace_analysis import CATEGORIES, attribution_delta
-from .common import QUICK, print_rows, scaled_config
+from .common import QUICK, Execution, print_rows, scaled_config
 from .common import sweep as _sweep
 
 __all__ = ["run_tab1", "tab1_specs", "main"]
@@ -58,7 +58,8 @@ def run_tab1(sweep: Sequence[int] = SWEEP,
              duration: float = QUICK["duration"],
              warmup: float = QUICK["warmup"],
              seed: int = 1,
-             tracing: bool = True) -> Dict:
+             tracing: bool = True,
+             execution: Optional[Execution] = None) -> Dict:
     """Measure the §4 data-sharing cost sweep.
 
     With ``tracing`` on (the default), the 1-system base and the 2-system
@@ -68,7 +69,8 @@ def run_tab1(sweep: Sequence[int] = SWEEP,
     / other).  The tracer is passive, so traced runs produce the same
     numbers as untraced ones.
     """
-    results = _sweep(tab1_specs(sweep, duration, warmup, seed, tracing))
+    results = _sweep(tab1_specs(sweep, duration, warmup, seed, tracing),
+                     execution=execution)
     base, sweep_results = results[0], results[1:]
     base_cpu = cpu_per_txn(base, 1)
     rows = [
@@ -156,14 +158,17 @@ def print_attribution(attribution: Optional[Dict]) -> None:
     )
 
 
-def main(quick: bool = True, seed: int = 1) -> Dict:
+def main(quick: bool = True, seed: int = 1,
+         execution: Optional[Execution] = None) -> Dict:
     kw = QUICK if quick else {"duration": 1.2, "warmup": 0.6}
-    out = run_tab1(duration=kw["duration"], warmup=kw["warmup"], seed=seed)
+    out = run_tab1(duration=kw["duration"], warmup=kw["warmup"],
+                   seed=seed, execution=execution)
     print_rows(
         "Table 1 — cost of data sharing (CPU per transaction)",
         out["rows"],
         ["systems", "sharing", "cpu_ms_per_txn", "overhead_vs_base_pct",
          "incremental_pct_per_system", "throughput"],
+        execution=execution,
     )
     s = out["summary"]
     print(

@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .adversaries import adversary_specs, base_spec, edit_chaos, edit_config
+from .executor import canonical_payload
 from .runspec import RunSpec, canonical_json
 
 __all__ = [
@@ -266,12 +267,15 @@ def outcome_key(
     """Run ``spec`` and judge it: ``(failure key | None, payload, detail)``.
 
     ``replay_check=True`` re-runs the spec and compares canonical JSON —
-    the byte-determinism oracle.  Keys are stable strings ("crash:…",
-    "invariant:…", "nondet:payload") so equal failures dedup and a
-    shrunk spec can be checked for *the same* failure.
+    the byte-determinism oracle.  Payloads go through
+    :func:`repro.executor.canonical_payload`, so "deterministic" is
+    judged on exactly the bytes a cache file or a work-queue worker
+    would carry.  Keys are stable strings ("crash:…", "invariant:…",
+    "nondet:payload") so equal failures dedup and a shrunk spec can be
+    checked for *the same* failure.
     """
     try:
-        payload = spec.run()
+        payload = canonical_payload(spec)
     except Exception as exc:  # noqa: BLE001 - any crash is a finding
         return f"crash:{type(exc).__name__}", None, str(exc)
     names = sorted({v["name"] for v in payload["invariants"]["violations"]})
@@ -279,7 +283,7 @@ def outcome_key(
         first = payload["invariants"]["violations"][0]
         return "invariant:" + ",".join(names), payload, first["detail"]
     if replay_check:
-        second = spec.run()
+        second = canonical_payload(spec)
         if canonical_json(second) != canonical_json(payload):
             return (
                 "nondet:payload",

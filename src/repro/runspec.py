@@ -235,6 +235,11 @@ class RunSpec:
         digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
         return digest.hexdigest()
 
+    def short_hash(self) -> str:
+        """First 12 hex chars of :meth:`content_hash` — the display form
+        used in progress lines, worker logs, and repro filenames."""
+        return self.content_hash()[:12]
+
     # -- execution ---------------------------------------------------------
     def run(self) -> Any:
         """Execute this spec in-process via its runner."""

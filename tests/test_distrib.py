@@ -1,0 +1,203 @@
+"""Tests for the work-queue backend and the repro.distrib transport.
+
+The spawned worker clients (``python -m repro.distrib.worker``) resolve
+scenario runners by dotted path, so every runner used here lives at
+module level and the backend gets the repo root on its ``pythonpath``
+(the workers need ``tests.test_distrib`` importable, exactly as a real
+remote worker needs the experiment code installed).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.distrib import SweepServer, WorkerTaskError, format_address, parse_address
+from repro.executor import (
+    LocalPoolBackend,
+    ResultCache,
+    WorkQueueBackend,
+    execute,
+    execute_iter,
+)
+from repro.runspec import RunSpec, canonical_json
+from tests.test_runspec_executor import small_spec
+
+ROOT = Path(__file__).resolve().parent.parent
+
+RUNNER = "tests.test_distrib:probe_runner"
+CRASH_ONCE = "tests.test_distrib:crash_once_runner"
+ALWAYS_CRASH = "tests.test_distrib:always_crash_runner"
+BOOM = "tests.test_distrib:boom_runner"
+
+
+def wq(**kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("pythonpath", [ROOT])
+    kw.setdefault("startup_timeout", 30.0)
+    return WorkQueueBackend(**kw)
+
+
+def probe_runner(spec):
+    return {"label": spec.label, "n": spec.params["n"] * 2}
+
+
+def crash_once_runner(spec):
+    sentinel = Path(spec.params["sentinel"])
+    if not sentinel.exists():
+        sentinel.write_text("crashed")
+        os._exit(17)  # hard kill: no exception, no cleanup — a dead worker
+    return {"survived": spec.params["n"]}
+
+
+def always_crash_runner(spec):
+    os._exit(17)
+
+
+def boom_runner(spec):
+    raise ValueError(f"boom from {spec.label}")
+
+
+def probe_specs(n=4):
+    return [RunSpec(runner=RUNNER, label=f"p{i}", params={"n": i})
+            for i in range(n)]
+
+
+# ------------------------------------------------------------ addresses ----
+def test_address_round_trips():
+    for addr in ("127.0.0.1:7777", "unix:/tmp/x.sock"):
+        assert format_address(*parse_address(addr)) == addr
+
+
+def test_bad_address_is_an_error():
+    with pytest.raises(ValueError):
+        parse_address("no-port-here")
+
+
+# ------------------------------------------------ cross-backend identity ----
+def test_workqueue_matches_local_pool_byte_for_byte(tmp_path):
+    """The determinism contract across every execution path.
+
+    The same two simulation specs run in-process, across a local pool,
+    through the work-queue with 2 worker processes, and replayed from a
+    warm cache — all four must agree to the byte.
+    """
+    specs = [small_spec(), small_spec(duration=0.3)]
+    cache = ResultCache(tmp_path / "rc")
+
+    serial = execute(specs, jobs=1)
+    pooled = execute(specs, backend=LocalPoolBackend(jobs=2))
+    queued = execute(specs, backend=wq(), cache=cache)
+    assert cache.misses == 2 and cache.hits == 0
+    replayed = execute(specs, jobs=1, cache=cache)
+    assert cache.hits == 2
+
+    for a, b, c, d in zip(serial, pooled, queued, replayed):
+        assert (canonical_json(a.to_dict()) == canonical_json(b.to_dict())
+                == canonical_json(c.to_dict()) == canonical_json(d.to_dict()))
+
+
+def test_workqueue_over_a_unix_socket(tmp_path):
+    specs = probe_specs(3)
+    backend = wq(address=f"unix:{tmp_path}/sweep.sock")
+    assert execute(specs, backend=backend) == [s.run() for s in specs]
+    assert backend.last_address.startswith("unix:")
+
+
+def test_workqueue_keeps_spec_order(tmp_path):
+    specs = probe_specs(6)
+    out = execute(specs, backend=wq(workers=3))
+    assert out == [{"label": f"p{i}", "n": i * 2} for i in range(6)]
+
+
+# ---------------------------------------------------------- streaming ----
+def test_streaming_yields_cache_hits_first_then_matches_barrier(tmp_path):
+    specs = probe_specs(4)
+    cache = ResultCache(tmp_path / "rc")
+    execute([specs[1], specs[3]], cache=cache)  # warm two of four
+
+    seen = list(execute_iter(specs, jobs=2, cache=cache))
+    # hits stream first, in spec order, before any computed point
+    assert [c.index for c in seen[:2]] == [1, 3]
+    assert all(c.cached for c in seen[:2])
+    assert not any(c.cached for c in seen[2:])
+    # reassembled, the stream equals the barrier form
+    by_index = {c.index: c.result for c in seen}
+    assert [by_index[i] for i in range(4)] == execute(specs, jobs=1)
+
+
+def test_streaming_write_back_fills_the_cache(tmp_path):
+    specs = probe_specs(3)
+    cache = ResultCache(tmp_path / "rc")
+    list(execute_iter(specs, backend=wq(), cache=cache))
+    assert cache.misses == 3
+    again = ResultCache(tmp_path / "rc")
+    assert execute(specs, cache=again) == [s.run() for s in specs]
+    assert again.hits == 3 and again.misses == 0
+
+
+# ------------------------------------------------------- fault handling ----
+def test_worker_crash_resubmits_and_the_sweep_completes(tmp_path):
+    """A worker dying mid-task loses a worker, not the task."""
+    crash = RunSpec(runner=CRASH_ONCE, label="crashy",
+                    params={"n": 7, "sentinel": str(tmp_path / "sentinel")})
+    healthy = probe_specs(3)
+    out = execute([crash] + healthy, backend=wq(workers=2))
+    assert out[0] == {"survived": 7}
+    assert out[1:] == [s.run() for s in healthy]
+    assert (tmp_path / "sentinel").exists()
+
+
+def test_task_that_kills_every_worker_fails_loudly(tmp_path):
+    """A spec that crashes every worker trips the resubmit cap (or runs
+    the fleet dry) instead of hanging the sweep forever."""
+    crash = RunSpec(runner=ALWAYS_CRASH, label="fatal")
+    healthy = probe_specs(3)
+    with pytest.raises(WorkerTaskError):
+        execute([crash] + healthy,
+                backend=wq(workers=3, max_resubmits=1))
+
+
+def test_runner_exception_propagates_without_retry():
+    """A runner *exception* is deterministic — it must not be retried
+    (the spec would just fail again) and must surface at the submitter."""
+    with pytest.raises(WorkerTaskError, match="boom from angry"):
+        execute([RunSpec(runner=BOOM, label="angry")], backend=wq())
+
+
+def test_server_raises_when_no_worker_ever_connects():
+    server = SweepServer([(0, probe_specs(1)[0].to_dict())])
+    server.start("127.0.0.1:0")
+    try:
+        with pytest.raises(WorkerTaskError):
+            list(server.results(procs=[], startup_timeout=0.2))
+    finally:
+        server.close()
+
+
+# --------------------------------------------------- shared cache reads ----
+def test_worker_reads_through_the_shared_cache(tmp_path):
+    """Workers answer from the shared store without re-simulating.
+
+    The backend is driven directly (``backend.run``) so the submitter's
+    own cache check cannot mask the worker-side read-through.
+    """
+    spec = probe_specs(1)[0]
+    cache = ResultCache(tmp_path / "rc")
+    execute([spec], cache=cache)  # populate: 1 miss
+    assert cache.misses == 1
+
+    backend = wq(workers=1)
+    done = list(backend.run([(0, spec)], cache=ResultCache(tmp_path / "rc")))
+    assert len(done) == 1
+    assert done[0].cached, "worker should have hit the shared cache"
+
+
+def test_worker_cache_off_recomputes(tmp_path):
+    spec = probe_specs(1)[0]
+    cache = ResultCache(tmp_path / "rc")
+    execute([spec], cache=cache)
+
+    backend = wq(workers=1, worker_cache=False)
+    done = list(backend.run([(0, spec)], cache=ResultCache(tmp_path / "rc")))
+    assert not done[0].cached

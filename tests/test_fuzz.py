@@ -8,7 +8,6 @@ import pytest
 
 import repro.experiments.__main__ as exp_main
 from repro.adversaries import adversary_spec, base_spec, edit_config
-from repro.experiments import common
 from repro.fuzz import (
     DIMENSIONS,
     GEOMETRY,
@@ -180,33 +179,22 @@ def test_replay_cli_on_a_clean_bare_spec(tmp_path):
 # the CI warm-cache assertion (experiments-smoke) the workflows rely on
 
 
-@pytest.fixture
-def _restore_execution():
-    saved = dict(common.EXECUTION)
-    yield
-    common.EXECUTION.update(saved)
-
-
 def _fake_experiment(miss):
-    def main(quick, seed):
+    def main(quick, seed, execution):
         if miss:
-            common.EXECUTION["cache"].misses += 1
+            execution.cache.misses += 1
 
     return SimpleNamespace(__name__="repro.experiments.exp_fake", main=main)
 
 
-def test_expect_no_misses_passes_on_warm_cache(
-    tmp_path, monkeypatch, _restore_execution
-):
+def test_expect_no_misses_passes_on_warm_cache(tmp_path, monkeypatch):
     monkeypatch.setattr(exp_main, "ALL", (_fake_experiment(miss=False),))
     exp_main.main(
         ["--filter", "fake", "--cache-dir", str(tmp_path), "--expect-no-misses"]
     )
 
 
-def test_expect_no_misses_fails_on_a_cold_cache(
-    tmp_path, monkeypatch, _restore_execution
-):
+def test_expect_no_misses_fails_on_a_cold_cache(tmp_path, monkeypatch):
     monkeypatch.setattr(exp_main, "ALL", (_fake_experiment(miss=True),))
     with pytest.raises(SystemExit, match="cache missed"):
         exp_main.main(

@@ -40,6 +40,9 @@ name                  pathology
                       onto the same entries (§3.3.1's failure mode)
 ``castout_laggard``   slow DASD under a write-heavy load lets the CF
                       cache's changed-block backlog grow unboundedly
+``duplex_split``      repeated kills of the duplexed-write carrier links
+                      must drop every pair cleanly to simplex — never
+                      divergence, never a hang
 ====================  ====================================================
 """
 
@@ -237,6 +240,26 @@ def castout_laggard(spec: RunSpec) -> RunSpec:
     return spec.replace(config=dc_replace(spec.config, n_dasd=16))
 
 
+def duplex_split(spec: RunSpec) -> RunSpec:
+    """Duplexed-write carrier severed mid-stream.
+
+    Every structure class runs duplexed (primaries on CF01, secondaries
+    on CF02), then the link fault process attacks **only** the linksets
+    reaching CF02 — the carrier every mirrored write rides.  With both
+    links of a set down, the next duplexed write's secondary leg times
+    out and the pair must break to simplex *cleanly*: the primary keeps
+    serving (work keeps completing), nothing diverges, and SFM logs the
+    break on the degraded timeline.  Observable: duplex breaks > 0 with
+    transactions still completing.
+    """
+    spec = edit_config(spec, cf={"duplex": "all"})
+    return edit_chaos(
+        spec,
+        links=FaultClassConfig(mtbf=0.3, mttr=30.0, max_faults=2),
+        link_target="CF02",
+    )
+
+
 #: name -> spec transform; iteration order is the catalog order above.
 ADVERSARIES: Dict[str, Callable[[RunSpec], RunSpec]] = {
     "lock_hog": lock_hog,
@@ -245,6 +268,7 @@ ADVERSARIES: Dict[str, Callable[[RunSpec], RunSpec]] = {
     "sick_system": sick_system,
     "false_contention": false_contention,
     "castout_laggard": castout_laggard,
+    "duplex_split": duplex_split,
 }
 
 
@@ -298,6 +322,9 @@ FALSE_CONTENTION_RATE = 0.05
 #: castout_laggard: changed blocks still undrained at end of run
 #: (healthy ~40, adversarial ~700).
 CASTOUT_BACKLOG_MIN = 300
+#: duplex_split: duplex pairs broken to simplex over the run (healthy 0
+#: — the base spec runs simplex and records no duplex events at all).
+DUPLEX_BREAKS_MIN = 1
 
 
 def _waits_per_txn(payload: dict) -> Tuple[bool, str]:
@@ -354,6 +381,17 @@ def _castout_backlog(payload: dict) -> Tuple[bool, str]:
     return ok, f"castout backlog {backlog} blocks (need > {CASTOUT_BACKLOG_MIN})"
 
 
+def _duplex_breaks(payload: dict) -> Tuple[bool, str]:
+    p = payload["summary"]["pathology"]
+    breaks = p.get("duplex_breaks", 0)
+    completed = payload["summary"]["completed"]
+    if breaks < DUPLEX_BREAKS_MIN:
+        return False, f"duplex breaks {breaks} (need >= {DUPLEX_BREAKS_MIN})"
+    if completed <= 0:
+        return False, f"{breaks} breaks but zero transactions completed"
+    return True, f"duplex breaks {breaks}, {completed} txns completed simplex"
+
+
 _MANIFESTS: Dict[str, Callable[[dict], Tuple[bool, str]]] = {
     "lock_hog": _waits_per_txn,
     "deadlock_cycle": _deadlocks,
@@ -361,6 +399,7 @@ _MANIFESTS: Dict[str, Callable[[dict], Tuple[bool, str]]] = {
     "sick_system": _sick_skew,
     "false_contention": _false_contention_rate,
     "castout_laggard": _castout_backlog,
+    "duplex_split": _duplex_breaks,
 }
 
 

@@ -109,8 +109,8 @@ class CacheStructure(Structure):
         self.castouts = 0
 
     # -- connection ----------------------------------------------------------
-    def connect(self, system_name: str, on_loss=None) -> Connector:
-        conn = super().connect(system_name, on_loss)
+    def connect(self, system_name: str, on_loss=None, conn_id=None) -> Connector:
+        conn = super().connect(system_name, on_loss, conn_id=conn_id)
         # MVS allocates the local bit vector at connect time (paper §3.3.2)
         self.vectors[conn.conn_id] = LocalVector()
         return conn
@@ -361,3 +361,45 @@ class CacheStructure(Structure):
     @property
     def data_in_use(self) -> int:
         return self._data_count
+
+    # -- duplexing -------------------------------------------------------------
+    def clone_state_from(self, other: "CacheStructure") -> None:
+        """Copy the peer's directory + changed-set (re-duplexing).
+
+        Vectors are *not* cloned — the wiring layer points this
+        instance's ``vectors`` at the connectors' shared per-system
+        vectors, which already reflect the directory being copied.
+        """
+        self._dir = OrderedDict()
+        for name, entry in other._dir.items():
+            mine = self._dir[name] = _DirEntry()
+            mine.registrants = dict(entry.registrants)
+            mine.version = entry.version
+            mine.has_data = entry.has_data
+            mine.changed = entry.changed
+            mine.seen = dict(entry.seen)
+        self._changed = OrderedDict((name, None) for name in other._changed)
+        self._data_count = other._data_count
+
+    def state_units(self) -> int:
+        """Size metric for the re-duplex state copy cost."""
+        return len(self._dir)
+
+    def duplex_state(self) -> object:
+        """Directory state in canonical comparable form.
+
+        Covers exactly what the duplexed-write protocol mirrors: the
+        directory (registrants, versions, data presence, changed bits,
+        seen versions) in LRU order.  Local bit vectors are *excluded* —
+        a duplexed pair shares the connectors' real vectors, so they are
+        not per-instance state.
+        """
+        return (
+            "cache",
+            [
+                (str(name), dict(e.registrants), e.version, e.has_data,
+                 e.changed, dict(e.seen))
+                for name, e in self._dir.items()
+            ],
+            [str(n) for n in self._changed],
+        )

@@ -73,8 +73,8 @@ class ListStructure(Structure):
         self.total_entries = 0
 
     # -- connection -------------------------------------------------------
-    def connect(self, system_name: str, on_loss=None) -> Connector:
-        conn = super().connect(system_name, on_loss)
+    def connect(self, system_name: str, on_loss=None, conn_id=None) -> Connector:
+        conn = super().connect(system_name, on_loss, conn_id=conn_id)
         self.vectors[conn.conn_id] = LocalVector()
         return conn
 
@@ -209,6 +209,45 @@ class ListStructure(Structure):
     def clear_monitor_bit(self, conn: Connector, bit_index: int) -> None:
         """Polling program observed the transition and resets its bit."""
         self.vectors[conn.conn_id].invalidate(bit_index)
+
+    # -- duplexing ------------------------------------------------------------
+    def clone_state_from(self, other: "ListStructure") -> None:
+        """Adopt the peer's queue contents (re-duplexing).
+
+        Shares the peer's :class:`ListEntry` objects — the duplexed-write
+        protocol pushes the same objects to both instances, so sharing at
+        clone time keeps entry ids (and later in-place ``update``\\ s)
+        identical on both sides.
+        """
+        self._headers = []
+        for h in other._headers:
+            mine = _Header()
+            mine.entries = list(h.entries)
+            mine.monitors = dict(h.monitors)
+            self._headers.append(mine)
+        self._locks = list(other._locks)
+        self.total_entries = other.total_entries
+
+    def state_units(self) -> int:
+        """Size metric for the re-duplex state copy cost."""
+        return self.total_entries + len(self._headers)
+
+    def duplex_state(self) -> object:
+        """Queue contents + lock entries + monitor interest, comparable.
+
+        A duplexed pair pushes the *same* :class:`ListEntry` objects to
+        both instances, so entry ids compare directly; vectors are the
+        shared per-system ones and excluded.
+        """
+        return (
+            "list",
+            [
+                ([(e.entry_id, str(e.key), str(e.data)) for e in h.entries],
+                 dict(h.monitors))
+                for h in self._headers
+            ],
+            list(self._locks),
+        )
 
     # -- cleanup --------------------------------------------------------------
     def _purge_connector(self, conn: Connector) -> None:

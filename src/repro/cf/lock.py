@@ -218,6 +218,36 @@ class LockStructure(Structure):
             if not entry.holds:
                 del self._table[idx]
 
+    # -- duplexing -------------------------------------------------------------------
+    def clone_state_from(self, other: "LockStructure") -> None:
+        """Copy the peer's interest table + record data (re-duplexing)."""
+        self._table = {}
+        for idx, entry in other._table.items():
+            mine = self._table[idx] = _Entry()
+            mine.holds = {
+                cid: {name: list(counts) for name, counts in names.items()}
+                for cid, names in entry.holds.items()
+            }
+        self._record = {key: dict(data) for key, data in other._record.items()}
+
+    def state_units(self) -> int:
+        """Size metric for the re-duplex state copy cost."""
+        return len(self._table) + len(self._record)
+
+    def duplex_state(self) -> object:
+        """Interest table + record data, in canonical comparable form."""
+        table = {
+            idx: {
+                cid: {str(name): list(counts) for name, counts in names.items()}
+                for cid, names in entry.holds.items()
+            }
+            for idx, entry in self._table.items()
+        }
+        records = {
+            (cid, str(name)): data for (cid, name), data in self._record.items()
+        }
+        return ("lock", table, records)
+
     # -- diagnostics ----------------------------------------------------------------
     @property
     def occupied_entries(self) -> int:

@@ -47,11 +47,19 @@ class Structure:
         self.lost = False
 
     def connect(self, system_name: str,
-                on_loss: Optional[Callable[[], None]] = None) -> Connector:
-        """Attach a new connector for ``system_name``."""
+                on_loss: Optional[Callable[[], None]] = None,
+                conn_id: Optional[int] = None) -> Connector:
+        """Attach a new connector for ``system_name``.
+
+        ``conn_id`` forces a specific connector id — the duplexing layer
+        uses it so a secondary instance's connectors mirror the
+        primary's ids exactly (state snapshots then compare directly).
+        """
         self._check()
-        conn = Connector(self._next_conn, system_name, on_loss)
-        self._next_conn += 1
+        if conn_id is None:
+            conn_id = self._next_conn
+        conn = Connector(conn_id, system_name, on_loss)
+        self._next_conn = max(self._next_conn, conn_id) + 1
         self.connectors[conn.conn_id] = conn
         return conn
 
@@ -62,6 +70,21 @@ class Structure:
 
     def _purge_connector(self, conn: Connector) -> None:
         """Subclasses drop per-connector state (interest, registrations)."""
+
+    def duplex_state(self) -> object:
+        """Canonical comparable snapshot of the structure's shared state.
+
+        A duplexed primary/secondary pair must produce *equal* snapshots
+        whenever no duplexed write is in flight — the duplex-consistency
+        invariant compares these.  Subclasses cover exactly the state
+        the duplexed-write protocol mirrors (not local-vector shadows or
+        per-instance counters).
+        """
+        return None
+
+    def state_units(self) -> int:
+        """Size metric used to cost a re-duplex state copy."""
+        return 0
 
     def on_facility_failed(self) -> None:
         """The owning CF died: notify every connector (loss of structure)."""

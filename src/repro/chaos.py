@@ -65,6 +65,10 @@ class ChaosConfig:
     systems: Optional[FaultClassConfig] = None
     cfs: Optional[FaultClassConfig] = None
     links: Optional[FaultClassConfig] = None
+    #: Restrict the ``links`` fault process to linksets reaching this CF
+    #: (e.g. ``"CF02"`` attacks only the duplexed-write carrier links).
+    #: ``None`` attacks every linkset, as always.
+    link_target: Optional[str] = None
     dasd: Optional[FaultClassConfig] = None
     #: Sick-but-not-dead fault process: a "failure" degrades the system's
     #: CPU complex by :attr:`sick_cpu_factor` instead of killing it, and
@@ -182,6 +186,9 @@ class ChaosEngine:
             rng = plex.streams.stream("chaos.links")
             for node in plex.nodes:
                 for cf_name in sorted(node.cf_links):
+                    if (cfg.link_target is not None
+                            and cf_name != cfg.link_target):
+                        continue
                     linkset = node.cf_links[cf_name]
                     for i, link in enumerate(linkset.links):
                         self._sample_component(

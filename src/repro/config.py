@@ -23,14 +23,20 @@ __all__ = [
     "XcfConfig",
     "WlmConfig",
     "ArmConfig",
+    "SfmConfig",
     "DatabaseConfig",
     "OltpConfig",
     "SysplexConfig",
+    "DUPLEX_POLICIES",
     "quick_sysplex",
 ]
 
 MICRO = 1e-6
 MILLI = 1e-3
+
+#: Structure-duplexing policies: which structure classes keep a hot
+#: secondary instance in a second CF (``"all"`` = every class).
+DUPLEX_POLICIES = ("none", "lock", "cache", "list", "all")
 
 
 @dataclass
@@ -135,6 +141,15 @@ class CfConfig:
     #: ``k`` waits ``retry_backoff * 2**k`` (jittered when the port has a
     #: seeded RNG).
     retry_backoff: float = 20 * MICRO
+    #: System-managed structure duplexing policy: ``"none"`` (default —
+    #: simplex structures, byte-identical to historical results),
+    #: ``"lock"``/``"cache"``/``"list"`` (duplex that structure class
+    #: only), or ``"all"``.  Duplexed structures keep a hot secondary in
+    #: a second CF: mutating commands pay the secondary's link + service
+    #: latency, and CF failure becomes a duplex *switch* instead of a
+    #: rebuild (paper §3.3: "Multiple CF's can be connected for
+    #: availability").  Requires ``n_cfs >= 2`` to take effect.
+    duplex: str = "none"
 
     def __post_init__(self) -> None:
         if self.request_timeout is not None and self.request_timeout <= 0:
@@ -143,6 +158,15 @@ class CfConfig:
             raise ValueError("request_retries must be >= 0")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
+        if self.duplex not in DUPLEX_POLICIES:
+            raise ValueError(
+                f"unknown duplex policy {self.duplex!r} "
+                f"(expected one of {DUPLEX_POLICIES})"
+            )
+
+    def duplexes(self, model: str) -> bool:
+        """Whether this policy duplexes structures of class ``model``."""
+        return self.duplex == "all" or self.duplex == model
 
 
 @dataclass
@@ -183,6 +207,44 @@ class ArmConfig:
     lock_recovery_each: float = 200 * MICRO
     #: Fixed log-replay portion of subsystem recovery.
     log_replay_time: float = 0.5
+
+
+@dataclass
+class SfmConfig:
+    """Sysplex Failure Management policy for CF-structure recovery.
+
+    Declarative per-run recovery policy (paper §5.2's SFM couple data
+    set): how fast a CF failure is *detected*, how long the sysplex
+    waits before re-establishing a lost secondary, and the per-class
+    recovery-time SLOs the experiments score incidents against.
+    """
+
+    #: Time from a CF failing to the sysplex acting on it (status-update
+    #: missing detection through the couple data set).
+    detection_interval: float = 20 * MILLI
+    #: Delay before a structure that dropped to simplex re-establishes a
+    #: new secondary in another live CF (lets the failure storm settle).
+    reestablish_delay: float = 0.5
+    #: Recovery-time service-level objectives per structure class, in
+    #: milliseconds (detect -> resume); incidents are scored against
+    #: these in the recovery timelines.
+    lock_slo_ms: float = 50.0
+    cache_slo_ms: float = 150.0
+    list_slo_ms: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.detection_interval < 0:
+            raise ValueError("detection_interval must be >= 0")
+        if self.reestablish_delay < 0:
+            raise ValueError("reestablish_delay must be >= 0")
+
+    def slo_ms(self, model: str) -> float:
+        """The recovery SLO for structure class ``model`` (ms)."""
+        return {
+            "lock": self.lock_slo_ms,
+            "cache": self.cache_slo_ms,
+            "list": self.list_slo_ms,
+        }.get(model, self.list_slo_ms)
 
 
 @dataclass
@@ -238,6 +300,7 @@ class SysplexConfig:
     xcf: XcfConfig = field(default_factory=XcfConfig)
     wlm: WlmConfig = field(default_factory=WlmConfig)
     arm: ArmConfig = field(default_factory=ArmConfig)
+    sfm: SfmConfig = field(default_factory=SfmConfig)
     db: DatabaseConfig = field(default_factory=DatabaseConfig)
     oltp: OltpConfig = field(default_factory=OltpConfig)
     #: Number of Coupling Facilities (>=2 for CF failover).
@@ -283,6 +346,7 @@ _SUBCONFIG_TYPES = {
     "xcf": XcfConfig,
     "wlm": WlmConfig,
     "arm": ArmConfig,
+    "sfm": SfmConfig,
     "db": DatabaseConfig,
     "oltp": OltpConfig,
 }

@@ -22,6 +22,7 @@ from . import (
     exp_chaos,
     exp_coherency,
     exp_dss,
+    exp_duplex,
     exp_generic_resources,
     exp_goal_mode,
     exp_growth,
@@ -43,6 +44,7 @@ __all__ = [
     "exp_chaos",
     "exp_coherency",
     "exp_dss",
+    "exp_duplex",
     "exp_generic_resources",
     "exp_goal_mode",
     "exp_growth",

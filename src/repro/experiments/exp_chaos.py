@@ -55,20 +55,24 @@ def chaos_spec(n_systems: int = 3,
                drain: float = 2.0,
                offered_tps_per_system: float = 120.0,
                intensity: float = 1.0,
-               window: float = 0.5) -> RunSpec:
+               window: float = 0.5,
+               duplex: str = "none") -> RunSpec:
     """Declare one chaos soak run.
 
     ``intensity`` scales fault frequency (2.0 = twice as many expected
     faults).  The sysplex gets two CFs (so rebuilds have a target) and
     request-level robustness enabled; the chaos parameters ride in
     ``params["chaos"]`` so the content hash covers the exact fault
-    distributions.
+    distributions.  ``duplex`` turns on system-managed structure
+    duplexing for the named structure class (``"all"`` = every class) —
+    CF failures then take the duplex-switch path instead of rebuilds.
     """
     from ..config import ArmConfig, XcfConfig
 
     config = scaled_config(
         n_systems, seed=seed, n_cfs=2,
-        cf=CfConfig(request_timeout=20 * MILLI, request_retries=4),
+        cf=CfConfig(request_timeout=20 * MILLI, request_retries=4,
+                    duplex=duplex),
         arm=ArmConfig(restart_time=0.5, log_replay_time=0.3),
         xcf=XcfConfig(heartbeat_interval=0.25),
     )
@@ -89,7 +93,8 @@ def chaos_spec(n_systems: int = 3,
             mode="open", router_policy="wlm",
             offered_tps_per_system=offered_tps_per_system,
         ),
-        label=f"chaos-{n_systems}sys-seed{seed}",
+        label=(f"chaos-{n_systems}sys-seed{seed}"
+               + (f"-duplex-{duplex}" if duplex != "none" else "")),
         params={
             "chaos": chaos.to_dict(),
             "window": window,
@@ -180,6 +185,7 @@ def run_chaos_spec(spec: RunSpec) -> Dict:
         "degraded": [[t, label] for t, label in plex.degraded_events],
         "timeline": timeline,
         "invariants": report,
+        "sfm": plex.sfm.report(),
         "summary": summary,
     }
 
@@ -215,6 +221,12 @@ def _pathology_observables(plex) -> Dict:
         "per_system_completed": {
             name: inst.tm.completed for name, inst in plex.instances.items()
         },
+        "duplex_pairs": len(getattr(plex.xes, "duplex_pairs", {})),
+        "duplex_breaks": plex.metrics.counter("duplex.breaks").count,
+        "duplex_switches": plex.metrics.counter("cf.switches").count,
+        "duplex_reestablished": (
+            plex.metrics.counter("duplex.reestablished").count
+        ),
     }
     if lock is not None:
         out["false_contention_rate"] = lock.false_contention_rate()
@@ -325,6 +337,10 @@ def _cli(argv: Optional[List[str]] = None) -> int:
                         help="first seed (default: 1)")
     parser.add_argument("--horizon", type=float, default=6.0,
                         help="chaos window in simulated seconds")
+    parser.add_argument("--duplex", default="none",
+                        choices=("none", "lock", "cache", "list", "all"),
+                        help="structure-duplexing policy for every seed "
+                             "(default: none)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel worker processes (0 = one per CPU)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -341,7 +357,8 @@ def _cli(argv: Optional[List[str]] = None) -> int:
     execution = Execution(jobs=jobs, progress=True, cache=args.cache_dir,
                           csv_dir=args.csv_dir)
     out = run_soak(n_seeds=args.seeds, seed0=args.seed0,
-                   horizon=args.horizon, execution=execution)
+                   horizon=args.horizon, duplex=args.duplex,
+                   execution=execution)
     print_rows(
         f"chaos soak — {args.seeds} seeds",
         out["rows"],

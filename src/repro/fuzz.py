@@ -55,6 +55,7 @@ __all__ = [
     "FuzzResult",
     "features",
     "fuzz",
+    "load_corpus",
     "main",
     "mutate",
     "outcome_key",
@@ -168,6 +169,12 @@ DIMENSIONS: Tuple[Dim, ...] = (
     _section_dim("cf", "cache_elements", (1024, 8192, 65536)),
     _section_dim("cf", "request_timeout", (None, 0.005, 0.02)),
     _section_dim("cf", "request_retries", (0, 1, 4)),
+    # duplexing axes: every mutant with duplex on runs the duplexed-write
+    # protocol and the duplex-consistency invariant; the SFM axes move
+    # the switch-vs-rebuild timing the chaos classes below collide with
+    _section_dim("cf", "duplex", ("none", "lock", "cache", "list", "all")),
+    _section_dim("sfm", "detection_interval", (0.005, 0.02, 0.1)),
+    _section_dim("sfm", "reestablish_delay", (0.05, 0.5, 2.0)),
     _section_dim("dasd", "service_mean", (0.0025, 0.01, 0.025)),
     _option_dim("offered_tps_per_system", (30.0, 60.0, 120.0, 240.0)),
     _option_dim("router_policy", ("local", "threshold", "wlm")),
@@ -200,6 +207,25 @@ def seed_specs(seed: int = 0) -> List[RunSpec]:
     specs = [base_spec(seed=s0, **GEOMETRY)]
     specs += adversary_specs(seed=s0, **GEOMETRY)
     specs.append(chaos_spec(seed=s0, **GEOMETRY))
+    return specs
+
+
+def load_corpus(path: Path, exclude: Optional[Set[str]] = None) -> List[RunSpec]:
+    """Reload a previous campaign's corpus entries as extra seeds.
+
+    Reads the ``corpus.json`` a prior :func:`fuzz` run wrote (each entry
+    carries its full spec), skipping hashes in ``exclude`` and duplicate
+    entries.  Entries from older schema versions without an embedded
+    spec are skipped silently — resuming from them is impossible.
+    """
+    doc = json.loads(Path(path).read_text())
+    seen = set(exclude or ())
+    specs: List[RunSpec] = []
+    for entry in doc.get("entries", []):
+        if "spec" not in entry or entry.get("spec_hash") in seen:
+            continue
+        seen.add(entry["spec_hash"])
+        specs.append(RunSpec.from_dict(entry["spec"]))
     return specs
 
 
@@ -255,6 +281,9 @@ def features(payload: dict) -> Set[str]:
     f.add(f"partitioned:{_bucket(p['partitioned'])}")
     f.add("lost:" + _bucket(s["lost"]))
     f.add("rebuilds:" + _bucket(s["rebuilds_started"]))
+    f.add("duplex-breaks:" + _bucket(p.get("duplex_breaks", 0)))
+    f.add("switches:" + _bucket(p.get("duplex_switches", 0)))
+    f.add("reduplexed:" + _bucket(p.get("duplex_reestablished", 0)))
     return f
 
 
@@ -357,6 +386,8 @@ def fuzz(
     out: Optional[Path] = None,
     quiet: bool = False,
     seeds: Optional[List[RunSpec]] = None,
+    corpus: Optional[Path] = None,
+    emit_fixtures: Optional[Path] = None,
 ) -> FuzzResult:
     """Run one coverage-guided campaign of ``budget`` mutations.
 
@@ -364,7 +395,12 @@ def fuzz(
     feature list, and shrunk failure specs are identical across re-runs.
     ``out`` (a directory) gets ``corpus.json``, ``coverage.json`` and
     one ``failures/<key>.json`` repro file per distinct failure key.
-    ``seeds`` overrides the initial corpus (tests use a short list).
+    ``seeds`` overrides the initial corpus (tests use a short list);
+    ``corpus`` additionally reseeds from a previous campaign's
+    ``corpus.json`` (nightly runs resume where the last one stopped),
+    still a pure function of ``(budget, seed, corpus bytes)``.
+    ``emit_fixtures`` writes every admitted corpus spec as a standalone
+    repro JSON — known-clean scenarios a regression test can pin.
     """
     rng = random.Random(seed)
     say = (lambda *a: None) if quiet else (lambda *a: print(*a, flush=True))
@@ -436,6 +472,9 @@ def fuzz(
                 "ops": ops,
                 "new_features": sorted(new),
                 "spec_hash": spec.content_hash(),
+                # the full spec rides along so a later campaign (or a
+                # fixture emitter) can resume from this corpus file
+                "spec": spec.to_dict(),
             }
         )
         stats["corpus"] = len(corpus_specs)
@@ -443,6 +482,10 @@ def fuzz(
 
     say(f"fuzz: seeding corpus (seed={seed})")
     initial = seeds if seeds is not None else seed_specs(seed)
+    if corpus is not None:
+        resumed = load_corpus(corpus, exclude={s.content_hash() for s in initial})
+        say(f"fuzz: resuming {len(resumed)} corpus entr(ies) from {corpus}")
+        initial = initial + resumed
     for spec in initial:
         say(f"[seed] {spec.label}")
         consider(spec, origin="seed", ops=[])
@@ -469,6 +512,9 @@ def fuzz(
     )
     if out is not None:
         _write_outputs(Path(out), result)
+    if emit_fixtures is not None:
+        _write_fixtures(Path(emit_fixtures), corpus_specs)
+        say(f"fuzz: {len(corpus_specs)} fixture(s) in {emit_fixtures}")
     say(
         f"\nfuzz done: {stats['runs']} runs, corpus {stats['corpus']}, "
         f"{len(result.coverage)} features, {stats['failures']} failure(s)"
@@ -513,6 +559,19 @@ def _write_outputs(out: Path, result: FuzzResult) -> None:
         }
         path = fail_dir / _failure_filename(entry)
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def _write_fixtures(out: Path, specs: List[RunSpec]) -> None:
+    """One standalone repro JSON per admitted corpus spec.
+
+    Every file is loadable with :meth:`RunSpec.from_json` and carries no
+    failure record — the regression suite asserts these stay *clean*.
+    """
+    out.mkdir(parents=True, exist_ok=True)
+    for spec in specs:
+        slug = "".join(ch if ch.isalnum() or ch in "-_" else "-" for ch in spec.label)
+        path = out / f"{slug[:60]}-{spec.content_hash()[:12]}.json"
+        path.write_text(spec.to_json() + "\n")
 
 
 # -- replay ------------------------------------------------------------------
@@ -571,6 +630,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="re-run a saved repro file instead of fuzzing",
     )
     parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="PATH",
+        help="resume: reseed from a previous campaign's corpus.json",
+    )
+    parser.add_argument(
+        "--emit-fixtures",
+        default=None,
+        metavar="DIR",
+        help="write each admitted corpus spec as a repro JSON under DIR",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress output"
     )
     args = parser.parse_args(argv)
@@ -583,6 +654,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         out=Path(args.out),
         quiet=args.quiet,
+        corpus=Path(args.corpus) if args.corpus else None,
+        emit_fixtures=Path(args.emit_fixtures) if args.emit_fixtures else None,
     )
     if not result.ok:
         print(

@@ -126,6 +126,7 @@ class InvariantChecker:
         self._check_lock_safety()
         self._check_commit_durability()
         self._check_conservation()
+        self._check_duplex_consistency()
 
     def _check_lock_safety(self) -> None:
         """Strict-2PL safety: an EXCL holder is alone on its resource."""
@@ -192,6 +193,36 @@ class InvariantChecker:
                 f"> generated {c['generated']}",
                 key="submitted>generated",
             )
+
+    def _check_duplex_consistency(self) -> None:
+        """Primary and secondary of a duplexed pair byte-agree at rest.
+
+        The duplexed-write protocol applies every mutation to both
+        instances atomically at primary command-execution time, so the
+        comparable state must agree whenever the pair is quiesced (no
+        command mid-flight).  A disagreement means a mutation path
+        bypassed the protocol — exactly the corruption duplexing must
+        never introduce.
+        """
+        pairs = getattr(self.plex.xes, "duplex_pairs", {})
+        for name, pair in pairs.items():
+            sec = pair.secondary
+            if sec is None or sec.lost or pair.primary.lost:
+                self._branch("duplex:simplex")
+                continue
+            if pair.inflight:
+                self._branch("duplex:busy")
+                continue
+            if pair.primary.duplex_state() == sec.duplex_state():
+                self._branch("duplex:consistent")
+            else:
+                self._branch("duplex:divergence-violation")
+                self._record(
+                    "duplex-consistency",
+                    f"{name}: primary and secondary instances disagree "
+                    f"while quiesced",
+                    key=name,
+                )
 
     # -- end-of-run checks -------------------------------------------------
     def finalize(self, grace: float = 5.0) -> dict:

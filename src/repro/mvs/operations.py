@@ -95,7 +95,9 @@ class OperationsConsole:
             inst.castout = None
         for xes in (inst.xes_lock, inst.xes_cache, inst.xes_list):
             if xes is not None and not xes.structure.lost:
-                xes.structure.disconnect(xes.connector)
+                # connection-level disconnect: a duplexed secondary is
+                # purged of this connector too, not just the primary
+                xes.disconnect()
         inst.db.alive = False
         node.fail()
         return drained

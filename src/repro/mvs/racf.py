@@ -79,7 +79,9 @@ class SecurityManager:
         bit = cached[1] if cached is not None else self._alloc_bit()
         yield from self.xes.sync(
             lambda: cache.register_and_read(
-                self.xes.connector, ("racf", profile_name), bit)
+                self.xes.connector, ("racf", profile_name), bit),
+            mirror=lambda s, c: s.register_and_read(
+                c, ("racf", profile_name), bit),
         )
         yield from self.dasd.io()
         self.dasd_fetches += 1
@@ -120,6 +122,8 @@ class SecurityManager:
         yield from self.xes.sync(
             lambda: cache.write_and_invalidate(
                 self.xes.connector, ("racf", profile_name), store=False),
+            mirror=lambda s, c: s.write_and_invalidate(
+                c, ("racf", profile_name), store=False),
             signal_wait=True,
         )
         # our own copy is refreshed in place

@@ -14,13 +14,13 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Optional
 
 from ..config import CfConfig
-from ..cf.commands import CfPort
+from ..cf.commands import CfPort, mirror_async, mirror_sync
 from ..cf.facility import CouplingFacility
 from ..cf.structure import Connector, Structure
-from ..hardware.system import SystemNode
+from ..hardware.system import SystemDown, SystemNode
 from ..simkernel import Simulator
 
-__all__ = ["XesServices", "XesConnection"]
+__all__ = ["XesServices", "XesConnection", "DuplexPair", "DuplexedConnection"]
 
 
 class XesConnection:
@@ -34,12 +34,24 @@ class XesConnection:
         self.port = port
         self.connector = connector
 
-    # Convenience pass-throughs charging the command cost model.
-    def sync(self, fn: Callable, **kw) -> Generator:
+    # Convenience pass-throughs charging the command cost model.  The
+    # ``mirror`` callback is the duplexing hook: simplex connections
+    # ignore it (no secondary instance to keep in step).
+    def sync(self, fn: Callable, mirror: Optional[Callable] = None,
+             **kw) -> Generator:
         return self.port.sync(fn, **kw)
 
-    def async_(self, fn: Callable, **kw) -> Generator:
+    def async_(self, fn: Callable, mirror: Optional[Callable] = None,
+               **kw) -> Generator:
         return self.port.async_(fn, **kw)
+
+    def instances(self):
+        """Every live ``(structure, connector)`` instance pair.
+
+        Direct-mutation paths (undo, abandon) iterate this so a duplexed
+        secondary sees the same state surgery the primary does.
+        """
+        return [(self.structure, self.connector)]
 
     def disconnect(self) -> None:
         self.structure.disconnect(self.connector)
@@ -47,6 +59,199 @@ class XesConnection:
     @property
     def operational(self) -> bool:
         return self.port.operational and not self.structure.lost
+
+
+class DuplexPair:
+    """One duplexed structure: a primary and (when healthy) a secondary.
+
+    The pair is the unit of failover policy: while ``active``, mutating
+    commands run the duplexed-write protocol; when the secondary becomes
+    unreachable the pair *breaks* back to simplex (work keeps committing
+    against the primary); when the primary's CF dies SFM *promotes* the
+    secondary in place.  ``inflight`` counts duplexed writes between
+    their primary-apply and secondary-leg completion — the
+    duplex-consistency invariant only compares instances when it is zero
+    (the protocol is quiesced).
+    """
+
+    def __init__(self, services: "XesServices", name: str, model: str,
+                 factory: Callable[[], Structure]):
+        self.services = services
+        self.name = name
+        self.model = model
+        #: builds an empty structure instance (used by re-duplexing)
+        self.factory = factory
+        self.primary: Optional[Structure] = None
+        self.secondary: Optional[Structure] = None
+        self.connections: List["DuplexedConnection"] = []
+        self.inflight = 0
+        # lifecycle counters (surfaced as chaos observables)
+        self.switches = 0
+        self.breaks = 0
+        self.reestablishes = 0
+        #: True while the background re-establish loop is running
+        self.reduplexing = False
+        #: callback(pair, reason) — Sysplex/SFM records the degraded
+        #: event and schedules the background re-duplex
+        self.on_break: Optional[Callable] = None
+
+    @property
+    def active(self) -> bool:
+        """True while duplexed writes should run both legs."""
+        s = self.secondary
+        return (s is not None and not s.lost
+                and s.facility is not None and not s.facility.failed)
+
+    def drop_secondary(self, reason: str) -> None:
+        """Fall back to simplex: discard the secondary instance."""
+        s = self.secondary
+        if s is None:
+            return
+        self.secondary = None
+        self.breaks += 1
+        if s.facility is not None and not s.facility.failed:
+            s.facility.deallocate(s.name)
+        for conn in self.connections:
+            conn.sec_structure = None
+            conn.sec_port = None
+            conn.sec_connector = None
+        if self.on_break is not None:
+            self.on_break(self, reason)
+
+    def purge_connector(self, connector: Connector) -> None:
+        """Purge one connector's state from the current secondary.
+
+        Safe for connectors that were never attached to this secondary
+        instance: a break + re-establish while the owning system was
+        dead-but-undetected clones the primary's registrations for that
+        connector into the fresh secondary without ever attaching the
+        connection — fencing must still scrub them from both instances.
+        """
+        sec = self.secondary
+        if sec is None or sec.lost:
+            return
+        mirror = sec.connectors.get(connector.conn_id)
+        if mirror is not None:
+            sec.disconnect(mirror)
+        else:
+            sec._purge_connector(connector)
+
+    def promote(self) -> None:
+        """Duplex switch: the secondary becomes the (simplex) primary.
+
+        Rebinds every connection in place, so subsystems holding the
+        connection object keep working without re-wiring.
+        """
+        self.primary = self.secondary
+        self.secondary = None
+        self.switches += 1
+        for conn in self.connections:
+            if conn.sec_structure is None:
+                continue
+            conn.structure = conn.sec_structure
+            conn.port = conn.sec_port
+            conn.connector = conn.sec_connector
+            conn.sec_structure = None
+            conn.sec_port = None
+            conn.sec_connector = None
+
+
+class DuplexedConnection(XesConnection):
+    """A connection backed by a duplexed structure pair.
+
+    Mutating callers pass ``mirror`` — a ``(structure, connector) ->
+    None`` callback applying the same mutation to the secondary.  The
+    mirror runs *atomically with the primary mutation* (at primary
+    command-execution time), so both instances apply every operation in
+    the primary's execution order and a quiesced pair always
+    byte-agrees; the secondary's link + CF service cost is then paid as
+    a second round trip.  A failure on that secondary leg breaks the
+    pair to simplex — the primary result already stands, so the caller
+    never sees the break.
+    """
+
+    def __init__(self, services: "XesServices", node: SystemNode,
+                 structure: Structure, port: CfPort, connector: Connector,
+                 pair: DuplexPair):
+        super().__init__(services, node, structure, port, connector)
+        self.pair = pair
+        self.sec_structure: Optional[Structure] = None
+        self.sec_port: Optional[CfPort] = None
+        self.sec_connector: Optional[Connector] = None
+
+    # -- the duplexed-write protocol --------------------------------------
+    def _both(self, fn: Callable, mirror: Callable) -> Callable:
+        """Wrap ``fn`` so the mirror applies atomically with it."""
+        def both():
+            result = fn()
+            sec = self.sec_structure
+            if sec is not None and not sec.lost:
+                try:
+                    mirror(sec, self.sec_connector)
+                except Exception as exc:  # never poison the primary leg
+                    self.pair.drop_secondary(
+                        f"mirror:{type(exc).__name__}")
+            return result
+        return both
+
+    def _secondary_leg(self, leg: Callable, kw: dict) -> Generator:
+        """Pay the secondary round trip; break to simplex on failure."""
+        port = self.sec_port
+        if port is None:  # the mirror itself broke the pair
+            return
+        try:
+            yield from leg(port, **kw)
+        except SystemDown:
+            raise  # the *issuing* system died — not the secondary's fault
+        except Exception as exc:
+            self.pair.drop_secondary(type(exc).__name__)
+
+    def sync(self, fn: Callable, mirror: Optional[Callable] = None,
+             **kw) -> Generator:
+        if mirror is None:
+            return self.port.sync(fn, **kw)
+        if not self.pair.active:
+            # simplex at issue time — but a concurrent re-duplex may
+            # attach a secondary before this command *executes* at the
+            # CF, so keep the wrap: ``_both`` re-checks at execution
+            # time and mirrors iff a secondary exists by then (the
+            # write rides the copy stream, no second round trip)
+            return self.port.sync(self._both(fn, mirror), **kw)
+        return self._duplexed(self.port.sync, mirror_sync, fn, mirror, kw)
+
+    def async_(self, fn: Callable, mirror: Optional[Callable] = None,
+               **kw) -> Generator:
+        if mirror is None:
+            return self.port.async_(fn, **kw)
+        if not self.pair.active:
+            return self.port.async_(self._both(fn, mirror), **kw)
+        return self._duplexed(self.port.async_, mirror_async, fn, mirror, kw)
+
+    def _duplexed(self, primary_leg: Callable, secondary_leg: Callable,
+                  fn: Callable, mirror: Callable, kw: dict) -> Generator:
+        pair = self.pair
+        pair.inflight += 1
+        try:
+            result = yield from primary_leg(self._both(fn, mirror), **kw)
+            yield from self._secondary_leg(secondary_leg, kw)
+        finally:
+            pair.inflight -= 1
+        return result
+
+    # -- bookkeeping -------------------------------------------------------
+    def instances(self):
+        out = [(self.structure, self.connector)]
+        if self.sec_structure is not None:
+            out.append((self.sec_structure, self.sec_connector))
+        return out
+
+    def disconnect(self) -> None:
+        super().disconnect()
+        # via the pair, not the cached sec_* binding: the pair may have
+        # re-established a secondary this connection never attached to
+        self.pair.purge_connector(self.connector)
+        if self in self.pair.connections:
+            self.pair.connections.remove(self)
 
 
 class XesServices:
@@ -64,6 +269,8 @@ class XesServices:
         #: CfPort; None defers to the repro.cf.commands.COLLAPSE default
         self.collapse = collapse
         self.facilities: List[CouplingFacility] = []
+        #: structure name -> DuplexPair for every duplexed structure
+        self.duplex_pairs: Dict[str, DuplexPair] = {}
         self.rebuilds = 0
         self.rebuilds_started = 0
         #: (time, node, structure, error) rows for contributors that died
@@ -90,11 +297,28 @@ class XesServices:
         return cf
 
     def find(self, name: str) -> Optional[Structure]:
+        # a duplexed structure resolves to its primary instance (reads
+        # and new connections always target the primary)
+        pair = self.duplex_pairs.get(name)
+        if pair is not None and pair.primary is not None \
+                and not pair.primary.lost:
+            return pair.primary
         for cf in self.facilities:
             st = cf.structure(name)
             if st is not None and not st.lost:
                 return st
         return None
+
+    def _port(self, node: SystemNode, cf: CouplingFacility) -> CfPort:
+        """Build a command port from ``node`` to ``cf``."""
+        links = node.cf_links.get(cf.name)
+        if links is None:
+            raise RuntimeError(f"{node.name} has no links to {cf.name}")
+        retry_rng = None
+        if self.streams is not None and self.config.request_timeout is not None:
+            retry_rng = self.streams.stream(f"cfretry-{node.name}")
+        return CfPort(node, cf, links, self.config, trace=self.trace,
+                      retry_rng=retry_rng, collapse=self.collapse)
 
     def connect(self, node: SystemNode, structure_name: str,
                 on_loss: Optional[Callable[[], None]] = None) -> XesConnection:
@@ -102,17 +326,103 @@ class XesServices:
         structure = self.find(structure_name)
         if structure is None:
             raise KeyError(f"structure {structure_name!r} not allocated")
-        cf = structure.facility
-        links = node.cf_links.get(cf.name)
-        if links is None:
-            raise RuntimeError(f"{node.name} has no links to {cf.name}")
-        retry_rng = None
-        if self.streams is not None and self.config.request_timeout is not None:
-            retry_rng = self.streams.stream(f"cfretry-{node.name}")
-        port = CfPort(node, cf, links, self.config, trace=self.trace,
-                      retry_rng=retry_rng, collapse=self.collapse)
+        port = self._port(node, structure.facility)
         connector = structure.connect(node.name, on_loss)
         return XesConnection(self, node, structure, port, connector)
+
+    # -- duplexing ----------------------------------------------------------------
+    def establish_duplexing(self, structure_name: str,
+                            factory: Callable[[], Structure],
+                            secondary_cf: CouplingFacility) -> DuplexPair:
+        """Stand up a secondary instance of an allocated structure.
+
+        Called at wiring time (before any connections): the secondary
+        starts empty, exactly like the primary.
+        """
+        primary = self.find(structure_name)
+        if primary is None:
+            raise KeyError(f"structure {structure_name!r} not allocated")
+        if secondary_cf is primary.facility:
+            raise ValueError("secondary CF must differ from the primary's")
+        secondary = factory()
+        secondary_cf.allocate(secondary)
+        pair = DuplexPair(self, structure_name, primary.model, factory)
+        pair.primary = primary
+        pair.secondary = secondary
+        self.duplex_pairs[structure_name] = pair
+        return pair
+
+    def connect_duplexed(self, node: SystemNode, structure_name: str,
+                         on_loss: Optional[Callable[[], None]] = None
+                         ) -> XesConnection:
+        """Connect to a structure, duplex-aware.
+
+        Falls back to a plain connection when the structure is not (or
+        no longer) duplexed.  The secondary connector is forced to the
+        primary's conn_id, and for vector-bearing models the secondary
+        shares the connector's *real* local vector — bit vectors live in
+        protected processor storage per system, not per structure copy.
+        """
+        pair = self.duplex_pairs.get(structure_name)
+        if pair is None:
+            return self.connect(node, structure_name, on_loss)
+        base = self.connect(node, structure_name, on_loss)
+        conn = DuplexedConnection(self, node, base.structure, base.port,
+                                  base.connector, pair)
+        if pair.secondary is not None:
+            self._attach_secondary(conn)
+        pair.connections.append(conn)
+        return conn
+
+    def _attach_secondary(self, conn: DuplexedConnection) -> None:
+        """Wire one connection's secondary side (connect + share vector)."""
+        pair = conn.pair
+        secondary = pair.secondary
+        conn.sec_port = self._port(conn.node, secondary.facility)
+        conn.sec_connector = secondary.connect(
+            conn.node.name, conn_id=conn.connector.conn_id)
+        primary_vectors = getattr(pair.primary, "vectors", None)
+        if primary_vectors is not None:
+            cid = conn.connector.conn_id
+            secondary.vectors[cid] = primary_vectors[cid]
+        conn.sec_structure = secondary
+
+    def reestablish_secondary(self, pair: DuplexPair) -> Generator:
+        """Process step: re-duplex a simplex pair into a second live CF.
+
+        Pays one costed async command (scaled by the primary's state
+        size — the copy traffic), then atomically clones the primary's
+        state into a fresh secondary and re-attaches every surviving
+        connection.  Raises when no second CF is available or the copy
+        command fails; the caller (SFM) retries later.
+        """
+        primary = pair.primary
+        if primary is None or primary.lost:
+            raise RuntimeError("no primary to re-duplex from")
+        candidates = [cf for cf in self.live_facilities()
+                      if cf is not primary.facility]
+        if not candidates:
+            raise RuntimeError("no second live CF to re-duplex into")
+        target = candidates[0]
+        carrier = next(
+            (c for c in pair.connections
+             if c.node.alive and c.connector.active), None)
+        if carrier is None:
+            raise RuntimeError("no surviving connection to carry the copy")
+        # the copy traffic: one bulk command over the carrier's links
+        port = self._port(carrier.node, target)
+        units = primary.state_units()
+        yield from port.async_(lambda: None, out_bytes=4096, data=True,
+                               service_factor=max(1.0, 0.05 * units))
+        # atomic at copy completion: allocate, clone, re-attach
+        secondary = pair.factory()
+        target.allocate(secondary)
+        secondary.clone_state_from(primary)
+        pair.secondary = secondary
+        for conn in pair.connections:
+            if conn.node.alive and conn.connector.active:
+                self._attach_secondary(conn)
+        pair.reestablishes += 1
 
     # -- rebuild ------------------------------------------------------------------
     def rebuild(self, structure_name: str, factory: Callable[[], Structure],

@@ -183,10 +183,18 @@ class BufferManager:
                 cache.unregister(conn, old)
             return cache.register_and_read(conn, page, slot)
 
+        # duplexing: registration mutates the directory, so the secondary
+        # must see it too (the shared vector bit is only set once)
+        def fn_mirror(s, c):
+            if old is not None:
+                s.unregister(c, old)
+            s.register_and_read(c, page, slot)
+
         # the response carries the 4K block only on a CF hit
         will_hit = cache.has_data(page)
         status, _version = yield from self.xes.sync(
-            fn, in_bytes=PAGE_BYTES if will_hit else 64, data=will_hit
+            fn, mirror=fn_mirror,
+            in_bytes=PAGE_BYTES if will_hit else 64, data=will_hit
         )
         if status == "hit":
             self.cf_refreshes += 1
@@ -224,6 +232,7 @@ class BufferManager:
                 cache, conn = self.cache, self.xes.connector
                 yield from self.xes.sync(
                     lambda p=page: cache.write_and_invalidate(conn, p),
+                    mirror=lambda s, c, p=page: s.write_and_invalidate(c, p),
                     out_bytes=PAGE_BYTES,
                     data=True,
                     signal_wait=True,
@@ -268,7 +277,9 @@ class BufferManager:
         if pairs and self.data_sharing:
             # bulk registration: same final CF state and statistics as one
             # register_and_read per page, minus the per-call overhead
-            self.cache.prewarm_many(self.xes.connector, pairs)
+            # (applied to both instances of a duplexed structure)
+            for structure, conn in self.xes.instances():
+                structure.prewarm_many(conn, pairs)
         return len(pairs)
 
     def contains(self, page: object) -> bool:
@@ -305,15 +316,17 @@ class CastoutEngine:
         try:
             yield from self._drain_loop()
         except Exception:
-            return  # hosting system or CF died: a peer takes over
+            pass  # hosting system or CF died: a peer takes over
+        finally:
+            # a returned loop is a dead engine either way — ``active``
+            # False is how recovery paths know a new drainer is needed
+            self.active = False
 
     def _drain_loop(self):
         """Drain in castout-class batches: one CF read command fetches up
         to ``batch`` changed blocks (DB2 castout reads are multi-page),
         the DASD writes overlap across devices, and one command resets
         the changed bits — so per-page CPU stays in the microseconds."""
-        cache = self.xes.structure
-        conn = self.xes.connector
         backlog = False
         while self.active:
             if not backlog:
@@ -322,6 +335,9 @@ class CastoutEngine:
                 return
             if not self.xes.node.alive:
                 return
+            # re-resolve each round: a duplex switch rebinds the
+            # connection's structure in place mid-run
+            cache = self.xes.structure
             names = cache.changed_blocks(self.batch)
             # keep draining back-to-back while a backlog exists; idle on
             # the interval only when caught up
@@ -353,8 +369,14 @@ class CastoutEngine:
                     if v is not None:
                         cache.castout_complete(n, v)
 
+            def complete_batch_mirror(s, c):
+                for n, v in versions.items():
+                    if v is not None:
+                        s.castout_complete(n, v)
+
             yield from self.xes.async_(
                 complete_batch,
+                mirror=complete_batch_mirror,
                 service_factor=max(1.0, 0.25 * len(names)),
             )
             self.pages_cast += sum(1 for v in versions.values() if v is not None)

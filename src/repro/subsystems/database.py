@@ -166,7 +166,26 @@ class DatabaseManager:
             # buffers.commit_writes(writes): externalize changed pages
             pool = buffers._pool
             xes = buffers.xes
-            if xes is not None:
+            if xes is not None and getattr(xes, "pair", None) is not None:
+                # duplexed structure: the write must run the duplexed-write
+                # protocol (mirror to the secondary), so take the
+                # connection-level path instead of the flattened port call
+                for page in writes:
+                    buf = pool.get(page)
+                    if buf is None or not buf.dirty:
+                        continue
+                    yield from xes.sync(
+                        lambda p=page: xes.structure.write_and_invalidate(
+                            xes.connector, p),
+                        mirror=lambda s, c, p=page: s.write_and_invalidate(
+                            c, p),
+                        out_bytes=PAGE_BYTES,
+                        data=True,
+                        signal_wait=True,
+                    )
+                    buffers.pages_written += 1
+                    buf.dirty = False
+            elif xes is not None:
                 cache = xes.structure
                 conn = xes.connector
                 sync = xes.port.sync

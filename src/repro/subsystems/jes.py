@@ -100,11 +100,10 @@ class JesMember:
         st, conn = self.xes.structure, self.xes.connector
         job.submitted_at = self.sim.now
         header = self.spool.class_header(job.job_class)
+        entry = ListEntry(key=(job.priority, job.job_id), data=job)
         yield from self.xes.sync(
-            lambda: st.push(conn, header,
-                            ListEntry(key=(job.priority, job.job_id),
-                                      data=job),
-                            where="keyed"),
+            lambda: st.push(conn, header, entry, where="keyed"),
+            mirror=lambda s, c: s.push(c, header, entry, where="keyed"),
             out_bytes=256,
         )
         self.spool.submitted += 1
@@ -118,15 +117,17 @@ class JesMember:
             while self._active and self.node.alive:
                 # atomically take the highest-priority job: read the head,
                 # move it to our executing header in one CF command
-                def take():
-                    entries = st.read(header)
+                def take_on(s, c):
+                    entries = s.read(header)
                     if not entries:
                         return None
                     entry = entries[0]
-                    st.move(conn, header, parked, entry.entry_id)
+                    s.move(c, header, parked, entry.entry_id)
                     return entry
 
-                entry = yield from self.xes.sync(take, in_bytes=256)
+                entry = yield from self.xes.sync(
+                    lambda: take_on(st, conn), mirror=take_on, in_bytes=256
+                )
                 if entry is None:
                     yield self.sim.timeout(0.01)  # idle poll
                     continue
@@ -135,7 +136,9 @@ class JesMember:
                 yield from self._execute(job)
                 # completion = deleting the parked entry
                 yield from self.xes.sync(
-                    lambda e=entry: st.delete(conn, parked, e.entry_id)
+                    lambda e=entry: st.delete(conn, parked, e.entry_id),
+                    mirror=lambda s, c, e=entry: s.delete(c, parked,
+                                                          e.entry_id),
                 )
                 self.spool.completed += 1
                 self.spool.turnaround.record(self.sim.now - job.submitted_at)
@@ -162,17 +165,18 @@ class JesMember:
         st, conn = self.xes.structure, self.xes.connector
         parked = self.spool.exec_header(dead_index)
 
-        def requeue():
+        def requeue_on(s, c):
             n = 0
-            for entry in st.read(parked):
+            for entry in s.read(parked):
                 job: BatchJob = entry.data
-                st.move(conn, parked, self.spool.class_header(job.job_class),
-                        entry.entry_id, where="keyed")
+                s.move(c, parked, self.spool.class_header(job.job_class),
+                       entry.entry_id, where="keyed")
                 n += 1
             return n
 
         n = yield from self.xes.sync(
-            requeue, service_factor=2.0
+            lambda: requeue_on(st, conn), mirror=requeue_on,
+            service_factor=2.0
         )
         self.spool.requeued += n
         return n

@@ -296,6 +296,13 @@ class LockManager:
                 structure.write_record(conn, resource, {"sys": self.system_name})
             return result
 
+        # duplexing: the same request against the secondary instance
+        # (identical state => identical grant decision)
+        def cf_request_mirror(s, c):
+            result = s.request(c, resource, mode)
+            if result.granted and mode == LockMode.EXCL:
+                s.write_record(c, resource, {"sys": self.system_name})
+
         # Retained-lock check: updates of a failed system stay protected
         # until peer recovery completes; conflicting requests are
         # REJECTED, not queued (see RetainedLockReject).  ``retained`` is
@@ -304,7 +311,7 @@ class LockManager:
         if space.retained and space.conflicts_with_retained(resource, mode):
             raise RetainedLockReject(resource)
 
-        result = yield from self.xes.sync(cf_request)
+        result = yield from self.xes.sync(cf_request, mirror=cf_request_mirror)
 
         if result.granted:
             if space.retained and space.conflicts_with_retained(resource,
@@ -325,11 +332,15 @@ class LockManager:
         yield from self._lock_contended(owner, resource, mode)
 
     def _undo_interest(self, resource: object, mode: str) -> None:
-        """Back out interest recorded by a granted-then-rejected request."""
-        structure, conn = self.structure, self.xes.connector
-        structure.release(conn, resource, mode)
-        if mode == LockMode.EXCL:
-            structure.delete_record(conn, resource)
+        """Back out interest recorded by a granted-then-rejected request.
+
+        Applied to every instance of a duplexed pair — the mirror
+        recorded the interest on the secondary too.
+        """
+        for structure, conn in self.xes.instances():
+            structure.release(conn, resource, mode)
+            if mode == LockMode.EXCL:
+                structure.delete_record(conn, resource)
 
     def _lock_contended(self, owner: object, resource: object,
                         mode: str) -> Generator:
@@ -351,7 +362,8 @@ class LockManager:
         if self.space.try_grant(resource, owner, mode):
             # false contention (or holder released meanwhile): grant
             yield from self.xes.sync(
-                lambda: structure.force_record(conn, resource, mode)
+                lambda: structure.force_record(conn, resource, mode),
+                mirror=lambda s, c: s.force_record(c, resource, mode),
             )
             self._note_held(owner, resource, mode)
             return
@@ -390,7 +402,8 @@ class LockManager:
         try:
             yield from self.xes.sync(
                 lambda: self.structure.force_record(
-                    self.xes.connector, resource, mode)
+                    self.xes.connector, resource, mode),
+                mirror=lambda s, c: s.force_record(c, resource, mode),
             )
         except BaseException:
             # this system died between the software grant and the CF
@@ -432,7 +445,12 @@ class LockManager:
             if mode == LockMode.EXCL:
                 structure.delete_record(conn, resource)
 
-        yield from self.xes.sync(cf_release)
+        def cf_release_mirror(s, c):
+            s.release(c, resource, mode)
+            if mode == LockMode.EXCL:
+                s.delete_record(c, resource)
+
+        yield from self.xes.sync(cf_release, mirror=cf_release_mirror)
         del modes[resource]
         if not modes:
             self.held.pop(owner, None)
@@ -456,8 +474,15 @@ class LockManager:
                 if mode == LockMode.EXCL:
                     structure.delete_record(conn, resource)
 
+        def cf_release_all_mirror(s, c):
+            for resource, mode in locks:
+                s.release(c, resource, mode)
+                if mode == LockMode.EXCL:
+                    s.delete_record(c, resource)
+
         yield from self.xes.sync(
-            cf_release_all, service_factor=max(1.0, 0.25 * len(locks))
+            cf_release_all, mirror=cf_release_all_mirror,
+            service_factor=max(1.0, 0.25 * len(locks))
         )
         self.held.pop(owner, None)
         for resource, _mode in locks:
@@ -484,12 +509,13 @@ class LockManager:
         hash class as contended.
         """
         modes = self.held.pop(owner, {})
-        structure, conn = self.structure, self.xes.connector
+        pairs = self.xes.instances()
         for resource, mode in modes.items():
-            if not structure.lost and conn.active:
-                structure.release(conn, resource, mode)
-                if mode == LockMode.EXCL:
-                    structure.delete_record(conn, resource)
+            for structure, conn in pairs:
+                if not structure.lost and conn.active:
+                    structure.release(conn, resource, mode)
+                    if mode == LockMode.EXCL:
+                        structure.delete_record(conn, resource)
             for w in self.space.release(resource, owner):
                 if not w.event.triggered:
                     w.event.succeed()

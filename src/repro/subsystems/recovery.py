@@ -74,6 +74,7 @@ class PeerRecovery:
         if not structure.lost:
             yield from recoverer.locks.xes.sync(
                 lambda: structure.purge_records(conn_id),
+                mirror=lambda s, c: s.purge_records(conn_id),
                 service_factor=max(1.0, 0.25 * max(1, len(records))),
             )
         released = self.space.clear_retained(failed.system_name)

@@ -348,7 +348,10 @@ class ListQueueRouter:
     def _start_servers(self) -> None:
         for tm in self.tms:
             xes = self.connections[tm.node.name]
-            xes.structure.register_monitor(xes.connector, self.header, 0)
+            # register on both instances of a duplexed structure: after a
+            # switch the promoted secondary must keep signalling transitions
+            for st, conn in xes.instances():
+                st.register_monitor(conn, self.header, 0)
             self.sim.process(self._server(tm, xes), name=f"listq-{tm.node.name}")
 
     def route(self, txn) -> None:
@@ -366,9 +369,12 @@ class ListQueueRouter:
 
     def _push(self, xes: XesConnection, txn):
         st, conn = xes.structure, xes.connector
+        # one entry object pushed to both instances keeps entry ids equal
+        entry = ListEntry(data=txn)
         try:
             yield from xes.sync(
-                lambda: st.push(conn, self.header, ListEntry(data=txn)),
+                lambda: st.push(conn, self.header, entry),
+                mirror=lambda s, c: s.push(c, self.header, entry),
                 out_bytes=256,
             )
             self.pushed += 1
@@ -382,7 +388,9 @@ class ListQueueRouter:
             while tm.available:
                 if vector.test(0):
                     entry = yield from xes.sync(
-                        lambda: st.pop(conn, self.header), in_bytes=256
+                        lambda: st.pop(conn, self.header),
+                        mirror=lambda s, c: s.pop(c, self.header),
+                        in_bytes=256,
                     )
                     if entry is None:
                         st.clear_monitor_bit(conn, 0)

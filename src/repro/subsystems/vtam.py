@@ -56,6 +56,8 @@ class GenericResources:
         entry = ListEntry(key=str(user), data={"user": user, "sys": target.name})
         yield from xes.sync(
             lambda: st.push(conn, self.affinity_header, entry, where="keyed"),
+            mirror=lambda s, c: s.push(c, self.affinity_header, entry,
+                                       where="keyed"),
             out_bytes=128,
         )
         self.sessions[user] = (target.name, entry.entry_id)
@@ -75,7 +77,8 @@ class GenericResources:
         xes = self.connections[node.name]
         st, conn = xes.structure, xes.connector
         yield from xes.sync(
-            lambda: st.delete(conn, self.affinity_header, entry_id)
+            lambda: st.delete(conn, self.affinity_header, entry_id),
+            mirror=lambda s, c: s.delete(c, self.affinity_header, entry_id),
         )
 
     def system_of(self, user: object) -> Optional[str]:

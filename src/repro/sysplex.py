@@ -142,6 +142,32 @@ class Sysplex:
             )
             self.xes.allocate(ListStructure(LIST_STRUCTURE, n_headers=8,
                                             n_locks=4))
+            # system-managed structure duplexing: stand up hot secondary
+            # instances in the second CF per the configured policy
+            if config.cf.duplex != "none" and len(self.cfs) >= 2:
+                secondary_cf = self.cfs[1]
+                if config.cf.duplexes("lock"):
+                    self.xes.establish_duplexing(
+                        LOCK_STRUCTURE,
+                        lambda: LockStructure(LOCK_STRUCTURE,
+                                              config.cf.lock_table_entries),
+                        secondary_cf,
+                    )
+                if config.cf.duplexes("cache"):
+                    self.xes.establish_duplexing(
+                        CACHE_STRUCTURE,
+                        lambda: CacheStructure(
+                            CACHE_STRUCTURE, config.cf.cache_elements,
+                            config.cf.cache_directory_entries),
+                        secondary_cf,
+                    )
+                if config.cf.duplexes("list"):
+                    self.xes.establish_duplexing(
+                        LIST_STRUCTURE,
+                        lambda: ListStructure(LIST_STRUCTURE, n_headers=8,
+                                              n_locks=4),
+                        secondary_cf,
+                    )
 
         # --- sysplex-wide services --------------------------------------------
         self.xcf = XcfGroupServices(self.sim, self.fabric)
@@ -177,6 +203,12 @@ class Sysplex:
         self.monitor.on_rejoin(self._revive_system)
         for cf in self.cfs:
             cf.on_failure(self._on_cf_failed)
+        from .mvs.sfm import SfmPolicyEngine
+
+        #: failure-management policy engine: decides duplex-switch vs
+        #: rebuild and records recovery-incident timelines.  Purely
+        #: event-driven — costs nothing until a CF actually fails.
+        self.sfm = SfmPolicyEngine(self)
         from .mvs.operations import OperationsConsole
 
         self.console = OperationsConsole(self)
@@ -205,9 +237,11 @@ class Sysplex:
         sharing = bool(self.cfs) and cfg.data_sharing
         xes_lock = xes_cache = xes_list = None
         if sharing:
-            xes_lock = self.xes.connect(node, LOCK_STRUCTURE)
-            xes_cache = self.xes.connect(node, CACHE_STRUCTURE)
-            xes_list = self.xes.connect(node, LIST_STRUCTURE)
+            # duplex-aware connect: plain simplex connections when the
+            # structure has no pair (the duplex="none" default)
+            xes_lock = self.xes.connect_duplexed(node, LOCK_STRUCTURE)
+            xes_cache = self.xes.connect_duplexed(node, CACHE_STRUCTURE)
+            xes_list = self.xes.connect_duplexed(node, LIST_STRUCTURE)
 
         lockmgr = LockManager(self.sim, self.lock_space,
                               xes_lock if sharing else _LocalXes(node),
@@ -254,9 +288,22 @@ class Sysplex:
         if inst.db.alive:
             inst.db.fail()
         # CF-side fencing: the dead system's connectors are disconnected
+        # (on both instances of a duplexed structure)
         for xes in (inst.xes_lock, inst.xes_cache, inst.xes_list):
-            if xes is not None and not xes.structure.lost:
+            if xes is None:
+                continue
+            if not xes.structure.lost:
                 xes.structure.disconnect(xes.connector)
+            # purge the *pair's current* secondary, not the connection's
+            # cached binding: a break + re-establish between this
+            # system's death and its detection leaves the dead
+            # connection unattached (re-attach skips dead nodes) while
+            # the fresh secondary cloned the not-yet-fenced registrations
+            pair = getattr(xes, "pair", None)
+            if pair is not None:
+                pair.purge_connector(xes.connector)
+                if xes in pair.connections:
+                    pair.connections.remove(xes)
         if inst.castout is not None:
             inst.castout.stop()
             self._reassign_castout(exclude=node)
@@ -328,6 +375,11 @@ class Sysplex:
     # -- CF failover (paper §3.3: "Multiple CF's ... for availability") ---------
     def _on_cf_failed(self, cf: CouplingFacility) -> None:
         self.metrics.counter("cf.failures").add()
+        if self.xes.duplex_pairs:
+            # duplexed run: SFM chooses duplex-switch vs rebuild per
+            # structure and records the recovery timeline
+            self.sfm.cf_failed(cf)
+            return
         if not self.xes.live_facilities():
             # total coupling outage: nothing to rebuild into.  Recorded
             # as a degraded-mode outcome rather than silently ignored —
@@ -335,6 +387,11 @@ class Sysplex:
             self._degraded(f"no-live-cf-after:{cf.name}")
             return
         self.metrics.counter("cf.rebuilds_started").add()
+        self.sfm.rebuild_started(cf, [
+            (LOCK_STRUCTURE, "lock"),
+            (CACHE_STRUCTURE, "cache"),
+            (LIST_STRUCTURE, "list"),
+        ])
         self.sim.process(self._rebuild_guarded(cf),
                          name=f"rebuild-after-{cf.name}")
 
@@ -354,18 +411,24 @@ class Sysplex:
             self._degraded(
                 f"rebuild-abandoned-after:{cf.name}:{type(exc).__name__}"
             )
+            self.sfm.rebuild_abandoned(cf)
         else:
             self.metrics.counter("cf.rebuilds").add()
+            self.sfm.rebuild_finished(cf)
 
-    def _rebuild_structures(self):
-        """Rebuild every structure into a surviving CF from the connectors'
-        local state, then swap the instances onto the new connections.
+    def _rebuild_structures(self, names=(LOCK_STRUCTURE, CACHE_STRUCTURE,
+                                         LIST_STRUCTURE)):
+        """Rebuild the named structures into a surviving CF from the
+        connectors' local state, then swap the instances onto the new
+        connections.
 
         Lock interest and persistent lock records are reconstructed from
         the lock managers' ``held`` maps; cache registrations from the
         buffer pools (local copies are assumed current — a simplification
         of DB2's GRECP recovery, see DESIGN.md); list contents are lost
-        (queued entries are in-flight work, counted as failed).
+        (queued entries are in-flight work, counted as failed).  SFM's
+        managed path passes a single name when only that structure needs
+        recovery (e.g. the others duplex-switched instead).
         """
         from .cf.lock import LockMode
 
@@ -430,32 +493,55 @@ class Sysplex:
             return fn
 
         alive = [i for i in self.instances.values() if i.node.alive]
-        yield from self.xes.rebuild(
-            LOCK_STRUCTURE,
-            lambda: LockStructure(LOCK_STRUCTURE, cfg.cf.lock_table_entries),
-            {i.node: lock_contrib(i) for i in alive},
-        )
-        yield from self.xes.rebuild(
-            CACHE_STRUCTURE,
-            lambda: CacheStructure(CACHE_STRUCTURE, cfg.cf.cache_elements,
-                                   cfg.cf.cache_directory_entries),
-            {i.node: cache_contrib(i) for i in alive},
-        )
-        yield from self.xes.rebuild(
-            LIST_STRUCTURE,
-            lambda: ListStructure(LIST_STRUCTURE, n_headers=8, n_locks=4),
-            {i.node: list_contrib(i) for i in alive},
-        )
+        if LOCK_STRUCTURE in names:
+            yield from self.xes.rebuild(
+                LOCK_STRUCTURE,
+                lambda: LockStructure(LOCK_STRUCTURE,
+                                      cfg.cf.lock_table_entries),
+                {i.node: lock_contrib(i) for i in alive},
+            )
+        if CACHE_STRUCTURE in names:
+            yield from self.xes.rebuild(
+                CACHE_STRUCTURE,
+                lambda: CacheStructure(CACHE_STRUCTURE, cfg.cf.cache_elements,
+                                       cfg.cf.cache_directory_entries),
+                {i.node: cache_contrib(i) for i in alive},
+            )
+        if LIST_STRUCTURE in names:
+            yield from self.xes.rebuild(
+                LIST_STRUCTURE,
+                lambda: ListStructure(LIST_STRUCTURE, n_headers=8, n_locks=4),
+                {i.node: list_contrib(i) for i in alive},
+            )
         # the castout engine died with the old cache structure
+        if CACHE_STRUCTURE in names:
+            for inst in self.instances.values():
+                if inst.castout is not None:
+                    inst.castout.stop()
+                    inst.castout = None
+            for inst in alive:
+                if inst.xes_cache is not None:
+                    inst.castout = CastoutEngine(self.sim, inst.xes_cache,
+                                                 self.farm)
+                    break
+
+    def _restart_castout(self) -> None:
+        """Ensure a live castout drainer exists for the shared cache.
+
+        The engine's drain loop exits when its connection goes
+        non-operational — a window every CF failure opens, even one a
+        duplex switch closes 20 ms later.  The rebuild path recreates
+        the engine as part of re-wiring; the switch path calls this
+        instead, since its connections rebind in place."""
         for inst in self.instances.values():
-            if inst.castout is not None:
-                inst.castout.stop()
-                inst.castout = None
-        for inst in alive:
-            if inst.xes_cache is not None:
+            if inst.castout is not None and inst.castout.active:
+                return
+        for inst in self.instances.values():
+            if (inst.node.alive and inst.xes_cache is not None
+                    and inst.xes_cache.operational):
                 inst.castout = CastoutEngine(self.sim, inst.xes_cache,
                                              self.farm)
-                break
+                return
 
     # -- growth (paper §2.4) -------------------------------------------------------
     def add_system(self) -> Instance:
@@ -569,6 +655,9 @@ class _LocalXes:
     def async_(self, fn, **_kw):
         yield from self.node.cpu.consume(0.5e-6)
         return fn()
+
+    def instances(self):
+        return [(self.structure, self.connector)]
 
     @property
     def operational(self) -> bool:

@@ -39,6 +39,7 @@ from repro.simkernel import Resource, Simulator
 TAB1_BASE_EVENTS_PER_TXN = 60.5
 
 GOLDEN_GRID = Path(__file__).parent / "data" / "golden_grid.json"
+GOLDEN_DUPLEX = Path(__file__).parent / "data" / "golden_duplex.json"
 
 
 def _run(cfg, duration=0.25, warmup=0.15, options=None):
@@ -161,6 +162,22 @@ def test_verify_profile_reproduces_golden_grid():
     for label in labels:
         sha, _payload = _payload_sha(specs[label].replace(profile="verify"))
         assert sha == golden[label]["payload_sha256"], label
+
+
+def test_verify_profile_reproduces_golden_duplex():
+    """The duplexed-write protocol is itself byte-pinned: a duplexed
+    chaos run under the verify profile reproduces its golden payload
+    hash (the simplex grid above already pins duplex="none")."""
+    from repro.experiments.exp_chaos import chaos_spec
+
+    fixture = json.loads(GOLDEN_DUPLEX.read_text())
+    for point in fixture["points"]:
+        spec = chaos_spec(seed=1, duplex="all", horizon=1.5, drain=1.0,
+                          window=0.5).replace(profile="verify")
+        assert spec.label == point["label"]
+        sha, payload = _payload_sha(spec)
+        assert sha == point["payload_sha256"], point["label"]
+        assert payload["data"]["summary"]["completed"] == point["completed"]
 
 
 def test_sweep_default_statistically_neutral_vs_golden():

@@ -104,7 +104,7 @@ def test_mutate_is_deterministic_in_the_rng():
 
 def test_seed_specs_distinct():
     specs = seed_specs(seed=0)
-    assert len(specs) == 8  # base + 6 adversaries + chaos soak
+    assert len(specs) == 9  # base + 7 adversaries + chaos soak
     assert len({s.content_hash() for s in specs}) == len(specs)
 
 

@@ -1,0 +1,33 @@
+"""Fuzzer-emitted fixtures are a regression corpus: every committed
+scenario under ``tests/fixtures/fuzz/`` must stay a *clean* run — no
+crash, no invariant violation — exactly as it was when the fuzzer
+admitted it.  A fixture turning red means a simulator change broke a
+scenario the fuzzer once certified (the shrunk repro is the file
+itself: ``python -m repro.fuzz --replay <path>``).
+
+New fixtures come from nightly campaigns via
+``python -m repro.fuzz --emit-fixtures tests/fixtures/fuzz/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import outcome_key
+from repro.runspec import RunSpec
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures" / "fuzz"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.json"))
+
+
+def test_fixture_corpus_is_committed():
+    # the glob below silently parametrizes to nothing on an empty
+    # directory — catch an accidentally deleted corpus loudly instead
+    assert FIXTURES, f"no fuzz fixtures found under {FIXTURE_DIR}"
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_stays_clean(path):
+    spec = RunSpec.from_json(path.read_text())
+    key, _payload, detail = outcome_key(spec)
+    assert key is None, f"{path.name} regressed: {key}: {detail}"

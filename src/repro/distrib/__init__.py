@@ -7,16 +7,23 @@ structure) that any number of loosely-coupled workers drain, with the
 death of a worker surfacing as a resubmitted unit of work rather than a
 lost one.
 
-* :mod:`repro.distrib.protocol` — newline-delimited JSON message
-  framing over TCP or unix sockets, plus address parsing;
+* :mod:`repro.distrib.protocol` — versioned JSON message framing
+  (optionally zlib-compressed) over TCP or unix sockets, plus address
+  parsing;
 * :mod:`repro.distrib.server` — :class:`~repro.distrib.server.
-  SweepServer`, the submitter-side task queue: hands one task at a time
-  to each connected worker, collects results, and requeues the
-  outstanding task of any worker that disconnects mid-run;
+  SweepServer`, the submitter-side task queue: keeps up to ``depth``
+  tasks in flight per connected worker, collects results, answers
+  protocol-level cache reads, and requeues the outstanding tasks of any
+  worker that disconnects mid-run;
 * :mod:`repro.distrib.worker` — the worker client loop and its CLI
   (``python -m repro.distrib.worker --connect HOST:PORT``), which pulls
-  tasks, answers from a shared content-addressed cache when it can, and
-  streams canonical payloads back.
+  tasks, answers from a content-addressed cache (shared filesystem or
+  over the wire) when it can, and streams canonical payloads back;
+* :mod:`repro.distrib.launcher` — who starts the fleet:
+  :class:`~repro.distrib.launcher.LocalLauncher` subprocesses,
+  :class:`~repro.distrib.launcher.CommandLauncher` shell templates, or
+  :class:`~repro.distrib.launcher.SshLauncher` ``host1:4,host2:8``
+  fleets with auto-reconnect.
 
 Nothing here knows about experiments or simulators beyond
 :func:`repro.executor.run_task`; the protocol carries only JSON.
@@ -25,12 +32,31 @@ Nothing here knows about experiments or simulators beyond
 # NOTE: .worker is deliberately not imported here — it is an executable
 # module (`python -m repro.distrib.worker`), and importing it from the
 # package __init__ would make runpy warn about double execution.
-from .protocol import format_address, parse_address
+from .launcher import (
+    CommandLauncher,
+    LocalLauncher,
+    SshLauncher,
+    WorkerLauncher,
+    parse_worker_spec,
+)
+from .protocol import (
+    PROTO_VERSION,
+    ProtocolError,
+    format_address,
+    parse_address,
+)
 from .server import SweepServer, WorkerTaskError
 
 __all__ = [
+    "PROTO_VERSION",
+    "CommandLauncher",
+    "LocalLauncher",
+    "ProtocolError",
+    "SshLauncher",
     "SweepServer",
+    "WorkerLauncher",
     "WorkerTaskError",
     "format_address",
     "parse_address",
+    "parse_worker_spec",
 ]

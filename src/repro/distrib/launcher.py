@@ -1,0 +1,372 @@
+"""Worker launchers: who starts the fleet, and where.
+
+:class:`~repro.executor.WorkQueueBackend` only needs something that can
+``launch(address)`` a set of worker processes and later ``stop()`` them.
+That contract is :class:`WorkerLauncher`; three implementations cover
+the useful space:
+
+* :class:`LocalLauncher` — N ``python -m repro.distrib.worker``
+  subprocesses on this host (the default spawn path);
+* :class:`CommandLauncher` — an arbitrary shell template run through
+  ``sh -c``, one process per ``count``; the escape hatch for
+  containers, schedulers, and CI;
+* :class:`SshLauncher` — a fleet described as ``"host1:4,host2:8"``
+  specs, one ``ssh`` per worker slot, with environment bootstrap,
+  automatic reconnect with exponential backoff when a remote worker
+  dies, and clean teardown (SIGTERM → the worker finishes its task,
+  sends ``bye``, exits 0).
+
+Templates (:class:`CommandLauncher` and :class:`SshLauncher`'s remote
+command) substitute ``{address}``, ``{name}`` and ``{python}``.
+
+Every handle returned by ``launch()`` is ``subprocess.Popen``-shaped —
+``poll()``/``terminate()``/``kill()``/``wait()`` — which is all the
+server's liveness check needs.  :class:`SshLauncher` hands back
+supervisor handles that report "alive" while a reconnect is pending, so
+a worker bouncing across the backoff window is not mistaken for a dead
+fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "CommandLauncher",
+    "LocalLauncher",
+    "SshLauncher",
+    "WorkerLauncher",
+    "parse_worker_spec",
+    "worker_env",
+]
+
+
+def worker_env(pythonpath: Sequence[Union[str, Path]] = ()) -> dict:
+    """A copy of the environment with :mod:`repro` importable.
+
+    ``pythonpath`` entries are prepended; the directory that contains
+    the running ``repro`` package is always included, so locally
+    spawned workers import the same code as the submitter.
+    """
+    import repro
+
+    env = dict(os.environ)
+    entries = [str(p) for p in pythonpath]
+    entries.append(str(Path(repro.__file__).resolve().parent.parent))
+    if env.get("PYTHONPATH"):
+        entries.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(entries))
+    return env
+
+
+class WorkerLauncher:
+    """Start worker processes against a server address; stop them later.
+
+    Subclasses implement :meth:`launch` (return one handle per worker)
+    and may override :meth:`stop`; ``count`` is the number of workers
+    the launcher will start, used by the executor for chunk sizing.
+    """
+
+    #: How many workers :meth:`launch` will start.
+    count: int = 0
+
+    def __init__(self) -> None:
+        self._handles: List = []
+
+    def launch(self, address: str) -> List:
+        raise NotImplementedError
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Terminate every launched worker and reap it.
+
+        SIGTERM first — workers finish their in-flight task, hand
+        pipelined tasks back, and exit 0 — then SIGKILL anything that
+        does not comply within ``timeout``.
+        """
+        for h in self._handles:
+            try:
+                if h.poll() is None:
+                    h.terminate()
+            except OSError:
+                pass
+        for h in self._handles:
+            try:
+                h.wait(timeout=timeout)
+            except Exception:
+                try:
+                    h.kill()
+                    h.wait(timeout=5)
+                except Exception:
+                    pass
+        self._handles = []
+
+
+class LocalLauncher(WorkerLauncher):
+    """Spawn ``count`` worker subprocesses on this host."""
+
+    def __init__(self, count: int = 2,
+                 pythonpath: Sequence[Union[str, Path]] = (),
+                 cache_mode: str = "auto",
+                 extra_args: Sequence[str] = ()):
+        super().__init__()
+        self.count = max(1, int(count))
+        self.pythonpath = list(pythonpath)
+        self.cache_mode = cache_mode
+        self.extra_args = list(extra_args)
+
+    def launch(self, address: str) -> List:
+        env = worker_env(self.pythonpath)
+        for w in range(self.count):
+            self._handles.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.distrib.worker",
+                 "--connect", address, "--name", f"worker-{w}",
+                 "--cache-mode", self.cache_mode, *self.extra_args],
+                env=env,
+            ))
+        return list(self._handles)
+
+
+class CommandLauncher(WorkerLauncher):
+    """Run a shell template, ``count`` times, via ``sh -c``.
+
+    The template is formatted with ``{address}`` (the server's bound
+    address), ``{name}`` (``cmd-0``, ``cmd-1``, ...) and ``{python}``
+    (the submitter's interpreter)::
+
+        CommandLauncher(
+            "{python} -m repro.distrib.worker --connect {address} "
+            "--name {name} --cache-mode proto", count=2)
+
+    Processes inherit :func:`worker_env`, so a template that just execs
+    a worker needs no PYTHONPATH plumbing of its own.
+    """
+
+    def __init__(self, template: str, count: int = 1,
+                 pythonpath: Sequence[Union[str, Path]] = ()):
+        super().__init__()
+        self.template = template
+        self.count = max(1, int(count))
+        self.pythonpath = list(pythonpath)
+
+    def launch(self, address: str) -> List:
+        env = worker_env(self.pythonpath)
+        for w in range(self.count):
+            cmd = self.template.format(
+                address=address, name=f"cmd-{w}", python=sys.executable)
+            self._handles.append(
+                subprocess.Popen(["sh", "-c", cmd], env=env))
+        return list(self._handles)
+
+
+def _parse_hosts(hosts: Union[str, Sequence[str]]) -> List[Tuple[str, int]]:
+    """``"a:4,b:8"`` / ``["a:4", "b"]`` -> ``[("a", 4), ("b", 1)]``."""
+    if isinstance(hosts, str):
+        hosts = [h for h in hosts.split(",") if h.strip()]
+    out: List[Tuple[str, int]] = []
+    for item in hosts:
+        item = item.strip()
+        host, sep, n = item.rpartition(":")
+        if sep and n.isdigit():
+            count = int(n)
+        else:
+            host, count = item, 1
+        if not host or count < 1:
+            raise ValueError(f"bad worker spec {item!r}: expected host[:n]")
+        out.append((host, count))
+    if not out:
+        raise ValueError("empty worker host spec")
+    return out
+
+
+class _Supervised:
+    """Popen-shaped handle around a respawning worker process.
+
+    Runs ``spawn()`` in a daemon thread; when the process exits
+    non-zero and stop was not requested, respawns it after an
+    exponential backoff, up to ``max_restarts`` times.  ``poll()``
+    reports ``None`` (alive) while the supervisor is still trying —
+    including during the backoff sleep — so the server's all-workers-
+    dead check does not fire on a transient ssh drop.
+    """
+
+    def __init__(self, spawn, label: str = "worker",
+                 max_restarts: int = 5, backoff: float = 1.0):
+        self._spawn = spawn
+        self._label = label
+        self._max_restarts = max_restarts
+        self._backoff = backoff
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._proc: Optional[subprocess.Popen] = None
+        self._returncode: Optional[int] = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"supervise-{label}", daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        restarts = 0
+        rc: Optional[int] = None
+        while True:
+            try:
+                proc = self._spawn()
+            except OSError as exc:
+                print(f"{self._label}: launch failed: {exc}",
+                      file=sys.stderr)
+                rc = 127
+                break
+            with self._lock:
+                self._proc = proc
+            if self._stopping.is_set():
+                proc.terminate()
+            rc = proc.wait()
+            if self._stopping.is_set() or rc == 0:
+                break
+            if restarts >= self._max_restarts:
+                print(f"{self._label}: exited {rc}, giving up after "
+                      f"{restarts} restart(s)", file=sys.stderr)
+                break
+            delay = min(30.0, self._backoff * (2 ** restarts))
+            restarts += 1
+            print(f"{self._label}: exited {rc}, reconnect {restarts}/"
+                  f"{self._max_restarts} in {delay:.1f}s", file=sys.stderr)
+            if self._stopping.wait(delay):
+                break
+        self._returncode = rc if rc is not None else 0
+
+    # -- Popen-shaped surface ----------------------------------------------
+
+    def poll(self) -> Optional[int]:
+        return self._returncode if not self._thread.is_alive() else None
+
+    def terminate(self) -> None:
+        self._stopping.set()
+        with self._lock:
+            proc = self._proc
+        if proc is not None and proc.poll() is None:
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+
+    def kill(self) -> None:
+        self._stopping.set()
+        with self._lock:
+            proc = self._proc
+        if proc is not None and proc.poll() is None:
+            try:
+                proc.kill()
+            except OSError:
+                pass
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[int]:
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise subprocess.TimeoutExpired(self._label, timeout or 0)
+        return self._returncode
+
+
+class SshLauncher(WorkerLauncher):
+    """One ssh-launched worker per slot in a ``host1:4,host2:8`` fleet.
+
+    Each slot runs ``ssh <opts> <host> <remote command>``; the remote
+    command defaults to starting a worker from ``remote_cwd`` (or the
+    login directory) with ``--cache-mode proto``, because remote hosts
+    usually cannot see the submitter's ``.runcache`` — they read it
+    over the wire instead.  Override ``command`` (same ``{address}`` /
+    ``{name}`` / ``{python}`` placeholders) for bespoke bootstraps.
+
+    A remote worker that dies (lost connection, OOM, crashed spec) is
+    relaunched with exponential backoff up to ``max_restarts`` times;
+    teardown SIGTERMs the local ssh client, which forwards the signal
+    where configured and otherwise drops the connection — either way
+    the server requeues anything unfinished.
+
+    ``connect_host`` rewrites the host part of the advertised address
+    (a server bound to ``0.0.0.0`` or ``127.0.0.1`` is not reachable
+    from another machine under that name).
+    """
+
+    def __init__(self, hosts: Union[str, Sequence[str]],
+                 python: str = "python3",
+                 remote_cwd: Optional[str] = None,
+                 remote_pythonpath: Optional[str] = None,
+                 connect_host: Optional[str] = None,
+                 cache_mode: str = "proto",
+                 command: Optional[str] = None,
+                 ssh_args: Sequence[str] = ("-o", "BatchMode=yes"),
+                 ssh_binary: str = "ssh",
+                 max_restarts: int = 5,
+                 backoff: float = 1.0):
+        super().__init__()
+        self.hosts = _parse_hosts(hosts)
+        self.count = sum(n for _, n in self.hosts)
+        self.python = python
+        self.remote_cwd = remote_cwd
+        self.remote_pythonpath = remote_pythonpath
+        self.connect_host = connect_host
+        self.cache_mode = cache_mode
+        self.command = command
+        self.ssh_args = list(ssh_args)
+        self.ssh_binary = ssh_binary
+        self.max_restarts = max_restarts
+        self.backoff = backoff
+
+    def _rewrite(self, address: str) -> str:
+        if not self.connect_host or address.startswith("unix:"):
+            return address
+        _host, _, port = address.rpartition(":")
+        return f"{self.connect_host}:{port}"
+
+    def _remote_command(self, address: str, name: str) -> str:
+        if self.command is not None:
+            return self.command.format(
+                address=address, name=name, python=self.python)
+        parts = []
+        if self.remote_cwd:
+            parts.append(f"cd {shlex.quote(self.remote_cwd)} &&")
+        if self.remote_pythonpath:
+            parts.append(
+                f"PYTHONPATH={shlex.quote(self.remote_pythonpath)}")
+        parts.append(
+            f"exec {self.python} -m repro.distrib.worker "
+            f"--connect {shlex.quote(address)} --name {shlex.quote(name)} "
+            f"--cache-mode {self.cache_mode}")
+        return " ".join(parts)
+
+    def launch(self, address: str) -> List:
+        address = self._rewrite(address)
+        for host, n in self.hosts:
+            for slot in range(n):
+                name = f"{host.split('@')[-1]}-{slot}"
+                argv = [self.ssh_binary, *self.ssh_args, host,
+                        self._remote_command(address, name)]
+
+                def spawn(argv=argv):
+                    return subprocess.Popen(argv)
+
+                self._handles.append(_Supervised(
+                    spawn, label=f"ssh:{name}",
+                    max_restarts=self.max_restarts, backoff=self.backoff))
+        return list(self._handles)
+
+
+def parse_worker_spec(spec: str,
+                      pythonpath: Sequence[Union[str, Path]] = ()
+                      ) -> Union[int, WorkerLauncher]:
+    """Turn a CLI ``--workers`` value into a count or a launcher.
+
+    ``"4"`` means four local workers (returned as the int, so the
+    caller keeps today's LocalLauncher path); anything with host names
+    — ``"big:8"``, ``"a:4,b:8"``, ``"gpu-box"`` — builds an
+    :class:`SshLauncher` over those hosts.
+    """
+    spec = spec.strip()
+    if spec.isdigit():
+        return int(spec)
+    return SshLauncher(spec)

@@ -1,51 +1,77 @@
 """The submitter-side work-queue server for distributed sweeps.
 
 A :class:`SweepServer` holds the pending ``(index, spec_dict)`` tasks of
-one sweep and serves them to worker connections one at a time: a worker
-gets a task, the server waits for its ``result``/``error`` message, then
-hands it the next.  Results land on an internal queue that
-:meth:`SweepServer.results` drains as an iterator — the streaming source
-:class:`repro.executor.WorkQueueBackend` plugs into ``execute_iter``.
+one sweep and serves them to worker connections.  Since protocol v2 the
+dispatch is **pipelined**: the server keeps up to ``depth`` tasks in
+flight per worker instead of the original strict pull-per-round-trip,
+so a worker always has its next task buffered locally and never idles
+for a network round trip between points.  Multi-task refills go out as
+one batched ``tasks`` frame, results may come back batched, and frames
+are zlib-compressed when the worker negotiated it at hello.
+
+Workers that cannot see the submitter's filesystem still skip warm
+points: a v2 worker may ask ``{"op": "cache_get", "hash": ...}`` and
+the server answers from its ``.runcache`` — protocol-level cache
+read-through.
 
 Fault model (the paper's, scaled down): a worker is allowed to die.  If
-a connection drops while a task is outstanding, the task goes back on
-the queue for another worker — up to ``max_resubmits`` extra attempts,
-after which it surfaces as a :class:`WorkerTaskError` (a spec that kills
-every worker that touches it should fail the sweep, not spin forever).
-A *runner* exception inside a healthy worker is not retried: specs are
-deterministic, so the error would simply repeat.  Workers stay connected
-(polling for requeued work) until every task has a result, so late
-resubmissions always have somewhere to go.
+a connection drops with tasks outstanding, they go back on the queue
+for another worker — up to ``max_resubmits`` extra attempts each, after
+which the task surfaces as a failure (a spec that kills every worker
+that touches it should fail the sweep, not spin forever).  A *runner*
+exception inside a healthy worker is not retried: specs are
+deterministic, so the error would simply repeat.  A worker that leaves
+**cleanly** (SIGTERM teardown: it finishes its running task, sends
+``bye`` naming its unstarted pipelined tasks) has those tasks requeued
+without any resubmission penalty — fleet teardown is routine, not
+churn.  Workers stay connected (polling for requeued work) until every
+task has a result, so late resubmissions always have somewhere to go.
+
+Each connection runs two daemon threads: a reader pumping decoded
+frames into an inbox queue, and a dispatcher multiplexing that inbox
+against the shared task queue.  That split is what lets the server
+notice a half-closed socket, a buffered ``bye``, and a requeued task
+without ever blocking on the wrong one.
 """
 
 from __future__ import annotations
 
+import logging
 import queue
+import re
 import socket
 import threading
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..executor import TaskDone
-from .protocol import format_address, parse_address, recv_message, send_message
+from .protocol import (
+    PROTO_VERSION,
+    ProtocolError,
+    format_address,
+    parse_address,
+    recv_message,
+    send_message,
+)
 
 __all__ = ["SweepServer", "WorkerTaskError"]
+
+log = logging.getLogger("repro.distrib")
 
 #: Default bind: loopback TCP on an ephemeral port.
 DEFAULT_ADDRESS = "127.0.0.1:0"
 
+#: Default pipeline depth: tasks kept in flight per worker.  1 restores
+#: the original strict pull-per-round-trip behavior.
+DEFAULT_DEPTH = 4
+
+_HASH_RE = re.compile(r"[0-9a-f]{8,128}")
+
 
 class WorkerTaskError(RuntimeError):
     """A sweep task failed on the worker side (runner raised, or the
-    task exhausted its resubmission budget)."""
-
-
-class _Failure:
-    __slots__ = ("index", "error", "traceback")
-
-    def __init__(self, index: int, error: str, traceback: str = ""):
-        self.index = index
-        self.error = error
-        self.traceback = traceback
+    task exhausted its resubmission budget), or the worker fleet died
+    before the sweep could finish."""
 
 
 class SweepServer:
@@ -53,24 +79,30 @@ class SweepServer:
 
     def __init__(self, tasks: Sequence[Tuple[int, dict]],
                  cache_root: Optional[str] = None,
-                 max_resubmits: int = 3):
+                 max_resubmits: int = 3,
+                 depth: int = DEFAULT_DEPTH,
+                 compress: bool = True):
         self._tasks = list(tasks)
         self._total = len(self._tasks)
         self._cache_root = cache_root
         self._max_resubmits = max_resubmits
+        self._depth = max(1, int(depth))
+        self._compress = compress
         self._todo: "queue.Queue[Tuple[int, dict]]" = queue.Queue()
         for task in self._tasks:
             self._todo.put(task)
-        self._out: "queue.Queue[object]" = queue.Queue()
+        self._out: "queue.Queue[TaskDone]" = queue.Queue()
         self._lock = threading.Lock()
         self._attempts: Dict[int, int] = {}
         self._completed = 0
         self._active_workers = 0
         self._ever_connected = False
+        self._clean_departures = 0
         self._closing = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._unix_path: Optional[str] = None
         self._threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -91,6 +123,8 @@ class SweepServer:
                                     name="sweep-server-accept", daemon=True)
         acceptor.start()
         self._threads.append(acceptor)
+        log.info("sweep server listening on %s (%d tasks, depth %d)",
+                 bound, self._total, self._depth)
         return bound
 
     def close(self) -> None:
@@ -98,6 +132,21 @@ class SweepServer:
         if self._listener is not None:
             try:
                 self._listener.close()
+            except OSError:
+                pass
+        # shut down live worker connections so their handlers (and any
+        # remote worker blocked on this socket) unblock immediately —
+        # this is also what tears down an SSH-launched fleet cleanly
+        # when the submitter aborts
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
             except OSError:
                 pass
         if self._unix_path is not None:
@@ -114,11 +163,14 @@ class SweepServer:
                 startup_timeout: float = 60.0) -> Iterator[TaskDone]:
         """Yield one :class:`~repro.executor.TaskDone` per task.
 
-        ``procs`` are the spawned worker processes (``subprocess.Popen``
-        objects) used for liveness: if every one has exited, none is
-        connected, and tasks remain, the sweep raises instead of
-        hanging.  ``startup_timeout`` bounds the wait for the *first*
-        worker to appear.
+        Task *failures* come back as TaskDones with ``error`` set (the
+        caller decides whether to raise or keep sweeping); fleet-level
+        failures raise :class:`WorkerTaskError` here.  ``procs`` are the
+        launched worker handles (anything with ``poll()``, e.g.
+        ``subprocess.Popen``) used for liveness: if every one has
+        permanently exited, none is connected, and tasks remain, the
+        sweep raises instead of hanging.  ``startup_timeout`` bounds the
+        wait for the *first* worker to appear.
         """
         import time
 
@@ -142,12 +194,6 @@ class SweepServer:
                             f"no worker connected within {startup_timeout:.0f}s"
                         )
                 continue
-            if isinstance(item, _Failure):
-                detail = f"\n{item.traceback}" if item.traceback else ""
-                raise WorkerTaskError(
-                    f"task {item.index} failed on a worker: "
-                    f"{item.error}{detail}"
-                )
             yielded += 1
             yield item
 
@@ -159,16 +205,32 @@ class SweepServer:
                 conn, _peer = self._listener.accept()
             except OSError:
                 return  # listener closed
+            with self._lock:
+                self._conns.append(conn)
             handler = threading.Thread(target=self._serve_conn, args=(conn,),
                                        name="sweep-server-worker",
                                        daemon=True)
             handler.start()
             self._threads.append(handler)
 
-    def _deliver(self, item) -> None:
+    def _deliver(self, item: TaskDone) -> None:
         with self._lock:
             self._completed += 1
         self._out.put(item)
+
+    def _read_loop(self, rfile, inbox: "queue.Queue") -> None:
+        """Pump decoded frames from one worker into its inbox."""
+        try:
+            while True:
+                msg = recv_message(rfile)
+                if msg is None:
+                    inbox.put(("eof", None))
+                    return
+                inbox.put(("msg", msg))
+        except (ProtocolError, ValueError) as exc:
+            inbox.put(("err", exc))
+        except OSError:
+            inbox.put(("eof", None))
 
     def _serve_conn(self, conn: socket.socket) -> None:
         with self._lock:
@@ -176,53 +238,55 @@ class SweepServer:
             self._ever_connected = True
         rfile = conn.makefile("rb")
         wfile = conn.makefile("wb")
-        outstanding: Optional[Tuple[int, dict]] = None
+        in_flight: Dict[int, Tuple[int, dict]] = {}
+        worker = "?"
+        compress = False
         try:
             hello = recv_message(rfile)
             if not isinstance(hello, dict) or hello.get("op") != "hello":
-                return
-            send_message(wfile, {"op": "welcome", "cache": self._cache_root})
-            while not self._closing.is_set():
-                try:
-                    task = self._todo.get(timeout=0.2)
-                except queue.Empty:
-                    with self._lock:
-                        done = self._completed >= self._total
-                    if done:
-                        send_message(wfile, {"op": "bye"})
-                        return
-                    continue  # idle, but a resubmission may still arrive
-                index, spec_dict = task
-                with self._lock:
-                    self._attempts[index] = self._attempts.get(index, 0) + 1
-                outstanding = task
-                send_message(wfile, {"op": "task", "id": index,
-                                     "spec": spec_dict})
-                msg = recv_message(rfile)
-                if not isinstance(msg, dict) or msg.get("id") != index:
-                    raise ConnectionError("worker hung up mid-task")
-                if msg.get("op") == "result":
-                    outstanding = None
-                    self._deliver(TaskDone(
-                        index, msg["payload"], bool(msg.get("cached")),
-                        float(msg.get("seconds", 0.0)),
-                    ))
-                elif msg.get("op") == "error":
-                    # deterministic runner failure: retrying would repeat it
-                    outstanding = None
-                    self._deliver(_Failure(index, str(msg.get("error", "?")),
-                                           str(msg.get("traceback", ""))))
-                else:
-                    raise ConnectionError(
-                        f"unexpected worker message {msg.get('op')!r}"
-                    )
-        except (ConnectionError, OSError, ValueError):
-            pass  # connection-level failure: handled by requeue below
+                raise ProtocolError(
+                    f"expected hello, got "
+                    f"{hello.get('op') if isinstance(hello, dict) else hello!r}"
+                )
+            worker = str(hello.get("worker", "?"))
+            proto = min(PROTO_VERSION, int(hello.get("proto", 1)))
+            compress = bool(self._compress and proto >= 2
+                            and hello.get("compress"))
+            send_message(wfile, {
+                "op": "welcome",
+                "proto": proto,
+                "compress": compress,
+                "depth": self._depth,
+                "cache": self._cache_root,
+                "cache_proto": bool(proto >= 2 and self._cache_root),
+            })
+            log.info("worker %s connected (proto %d%s)", worker, proto,
+                     ", compressed" if compress else "")
+            inbox: "queue.Queue" = queue.Queue()
+            reader = threading.Thread(
+                target=self._read_loop, args=(rfile, inbox),
+                name=f"sweep-server-read-{worker}", daemon=True)
+            reader.start()
+            self._dispatch(worker, proto, compress, wfile, inbox, in_flight)
+        except (ConnectionError, OSError, ProtocolError, ValueError,
+                KeyError, TypeError) as exc:
+            if self._closing.is_set():
+                pass  # teardown reset, not a worker failure
+            elif in_flight:
+                log.warning(
+                    "connection to worker %s failed (%s); requeueing "
+                    "%d task(s)", worker, exc, len(in_flight))
+            else:
+                log.warning("connection to worker %s failed: %s", worker, exc)
         finally:
-            if outstanding is not None:
-                self._requeue(outstanding)
+            for task in in_flight.values():
+                self._requeue(task)
             with self._lock:
                 self._active_workers -= 1
+                try:
+                    self._conns.remove(conn)
+                except ValueError:
+                    pass
             for f in (rfile, wfile):
                 try:
                     f.close()
@@ -233,14 +297,136 @@ class SweepServer:
             except OSError:
                 pass
 
+    def _dispatch(self, worker: str, proto: int, compress: bool,
+                  wfile, inbox: "queue.Queue",
+                  in_flight: Dict[int, Tuple[int, dict]]) -> None:
+        """Multiplex one worker's inbox against the shared task queue."""
+        while not self._closing.is_set():
+            # refill the pipeline up to depth; multi-task refills go out
+            # as one batched frame on v2 connections
+            batch: List[Tuple[int, dict]] = []
+            while len(in_flight) < self._depth:
+                try:
+                    task = self._todo.get_nowait()
+                except queue.Empty:
+                    break
+                with self._lock:
+                    self._attempts[task[0]] = (
+                        self._attempts.get(task[0], 0) + 1)
+                in_flight[task[0]] = task
+                batch.append(task)
+            if batch:
+                if proto >= 2 and len(batch) > 1:
+                    send_message(wfile, {
+                        "op": "tasks",
+                        "tasks": [{"id": i, "spec": s} for i, s in batch],
+                    }, compress)
+                else:
+                    for i, s in batch:
+                        send_message(wfile, {"op": "task", "id": i,
+                                             "spec": s}, compress)
+            if not in_flight:
+                with self._lock:
+                    done = self._completed >= self._total
+                if done:
+                    send_message(wfile, {"op": "bye"}, compress)
+                    log.info("worker %s released: sweep complete", worker)
+                    return
+            try:
+                kind, msg = inbox.get(timeout=0.2)
+            except queue.Empty:
+                continue  # idle: a resubmission may still arrive
+            if kind == "eof":
+                if in_flight:
+                    raise ConnectionError("worker hung up with "
+                                          f"{len(in_flight)} task(s) in "
+                                          "flight")
+                log.info("worker %s disconnected while idle", worker)
+                return
+            if kind == "err":
+                raise msg
+            op = msg.get("op") if isinstance(msg, dict) else None
+            if op == "result":
+                self._finish(worker, msg, in_flight)
+            elif op == "results" and proto >= 2:
+                for sub in msg.get("results", ()):
+                    self._finish(worker, sub, in_flight)
+            elif op == "error":
+                self._finish(worker, msg, in_flight)
+            elif op == "cache_get" and proto >= 2:
+                send_message(wfile, {
+                    "op": "cache_value",
+                    "id": msg.get("id"),
+                    "payload": self._cache_lookup(msg.get("hash")),
+                }, compress)
+            elif op == "bye":
+                self._depart(worker, msg, in_flight)
+                return
+            else:
+                raise ProtocolError(f"unknown op {op!r} from worker")
+
+    def _finish(self, worker: str, msg: dict,
+                in_flight: Dict[int, Tuple[int, dict]]) -> None:
+        index = msg.get("id")
+        if index not in in_flight:
+            raise ProtocolError(
+                f"{msg.get('op')} for task {index!r}, which is not in "
+                "flight on this connection"
+            )
+        del in_flight[index]
+        if msg.get("op") == "error":
+            # deterministic runner failure: retrying would repeat it
+            detail = str(msg.get("traceback", "")).rstrip()
+            error = str(msg.get("error", "?")) + (
+                f"\n{detail}" if detail else "")
+            log.warning("task %d failed on worker %s: %s",
+                        index, worker, msg.get("error", "?"))
+            self._deliver(TaskDone(index, None, False, 0.0, error=error))
+        else:
+            self._deliver(TaskDone(
+                index, msg["payload"], bool(msg.get("cached")),
+                float(msg.get("seconds", 0.0)),
+            ))
+
+    def _depart(self, worker: str, msg: dict,
+                in_flight: Dict[int, Tuple[int, dict]]) -> None:
+        """A clean worker departure: requeue abandoned tasks penalty-free."""
+        abandoned = msg.get("abandoned") or ()
+        requeued = 0
+        for index in abandoned:
+            task = in_flight.pop(index, None)
+            if task is None:
+                continue
+            with self._lock:
+                # the dispatch attempt never ran: it does not count
+                # against the task's resubmission budget
+                self._attempts[index] = max(
+                    0, self._attempts.get(index, 1) - 1)
+            self._todo.put(task)
+            requeued += 1
+        with self._lock:
+            self._clean_departures += 1
+        log.info("worker %s departed cleanly (%d task(s) handed back)",
+                 worker, requeued)
+
+    def _cache_lookup(self, content_hash) -> Optional[dict]:
+        """Answer a protocol-level cache read-through request."""
+        if (not self._cache_root or not isinstance(content_hash, str)
+                or not _HASH_RE.fullmatch(content_hash)):
+            return None
+        from ..executor import ResultCache
+
+        return ResultCache(Path(self._cache_root)).get_by_hash(content_hash)
+
     def _requeue(self, task: Tuple[int, dict]) -> None:
         index = task[0]
         with self._lock:
             attempts = self._attempts.get(index, 0)
         if attempts > self._max_resubmits:
-            self._deliver(_Failure(
-                index,
-                f"crashed its worker on every one of {attempts} attempt(s)",
+            self._deliver(TaskDone(
+                index, None, False, 0.0,
+                error=(f"crashed its worker on every one of {attempts} "
+                       "attempt(s)"),
             ))
         else:
             self._todo.put(task)

@@ -6,73 +6,237 @@ Run one (or many, on any host that can reach the server and import
     python -m repro.distrib.worker --connect 127.0.0.1:41733
     python -m repro.distrib.worker --connect unix:/tmp/sweep.sock \\
         --cache /shared/.runcache
+    python -m repro.distrib.worker --connect big-host:41733 \\
+        --cache-mode proto          # no shared filesystem: read the
+                                    # submitter's cache over the wire
 
-The loop is deliberately dumb: hello, then pull one task at a time, run
-it through :func:`repro.executor.run_task` (cache read-through included)
-and ship the canonical payload back.  A runner exception becomes an
-``error`` message — the worker itself survives and asks for the next
-task.  The server owns all scheduling and retry policy.
+The worker offers protocol v2 at hello (batched frames, zlib frame
+compression, protocol cache read-through) and falls back to the v1
+strict request/reply loop against an old server.  The server may keep
+several tasks in flight here (pipelining); they queue locally and run
+one at a time, so the next task's bytes are already on hand when the
+current one finishes.  Consecutive cache-hit answers are batched into
+one ``results`` frame; computed results ship immediately so the server
+can refill the pipeline.  A runner exception becomes an ``error``
+message — the worker itself survives and asks for the next task.  The
+server owns all scheduling and retry policy.
+
+**Clean teardown**: the CLI installs SIGTERM/SIGINT handlers that
+finish (never abort) the in-flight task, hand unstarted pipelined
+tasks back to the server in a ``bye`` frame, and exit 0 — so tearing
+down a fleet does not masquerade as worker death and resubmission
+churn.  A second signal kills the process immediately.
+
+Cache modes (``--cache-mode``):
+
+* ``auto`` (default) — use ``--cache`` if given; else the directory the
+  server advertises *if it exists on this host*; else protocol
+  read-through when the server offers it; else no cache.
+* ``fs`` — read the advertised (or ``--cache``) directory directly.
+* ``proto`` — ask the server (``cache_get``) before simulating; the
+  mode for remote hosts without a shared filesystem.
+* ``off`` — always simulate.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 import time
 import traceback
-from typing import List, Optional
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 from ..executor import run_task
-from .protocol import connect, recv_message, send_message
+from ..runspec import RunSpec
+from .protocol import (
+    PROTO_VERSION,
+    ProtocolError,
+    connect,
+    recv_message,
+    send_message,
+)
 
-__all__ = ["main", "serve"]
+__all__ = ["GracefulExit", "main", "serve"]
+
+CACHE_MODES = ("auto", "fs", "proto", "off")
+
+
+class GracefulExit(BaseException):
+    """Raised by the signal handler to interrupt an idle ``recv`` so the
+    worker can say goodbye; derives from BaseException so no runner's
+    ``except Exception`` can swallow a teardown request."""
+
+
+def _resolve_cache(cache_mode: str, cache_root: Optional[str],
+                   welcome: dict, proto: int) -> Tuple[str, Optional[str]]:
+    """Decide how this worker consults the result cache: (mode, root)."""
+    import os
+
+    advertised = welcome.get("cache")
+    offers_proto = bool(proto >= 2 and welcome.get("cache_proto"))
+    if cache_mode == "off":
+        return "off", None
+    if cache_mode == "fs":
+        root = cache_root or advertised
+        return ("fs", root) if root else ("off", None)
+    if cache_mode == "proto":
+        return ("proto", None) if offers_proto else ("off", None)
+    # auto: prefer an explicitly-given local directory, then a shared
+    # filesystem, then the wire
+    if cache_root:
+        return "fs", cache_root
+    if advertised and os.path.isdir(advertised):
+        return "fs", advertised
+    if offers_proto:
+        return "proto", None
+    return "off", None
 
 
 def serve(address: str, name: str = "worker",
           cache_root: Optional[str] = None,
-          connect_timeout: float = 30.0) -> int:
+          connect_timeout: float = 30.0,
+          *,
+          compress: bool = True,
+          cache_mode: str = "auto",
+          stop_event: Optional[threading.Event] = None,
+          _state: Optional[dict] = None) -> int:
     """Connect to ``address`` and process tasks until told to stop.
 
     Returns the number of tasks completed.  ``cache_root`` overrides the
     cache directory the server advertises (pass a path that is valid on
-    *this* host when the submitter's path is not).
+    *this* host when the submitter's path is not); ``cache_mode`` is the
+    policy described in the module docs.  ``stop_event`` requests a
+    graceful departure: the in-flight task finishes, unstarted tasks go
+    back to the server, and the loop returns.
     """
+    if cache_mode not in CACHE_MODES:
+        raise ValueError(f"cache_mode must be one of {CACHE_MODES}")
+    stop = stop_event if stop_event is not None else threading.Event()
+    state = _state if _state is not None else {"phase": "run"}
     sock = connect(address, timeout=connect_timeout)
     sock.settimeout(None)  # task runs are unbounded; the server paces us
     rfile = sock.makefile("rb")
     wfile = sock.makefile("wb")
     done = 0
+    pending: Deque[dict] = deque()
+    outbuf: List[dict] = []
     try:
-        send_message(wfile, {"op": "hello", "worker": name})
+        send_message(wfile, {"op": "hello", "worker": name,
+                             "proto": PROTO_VERSION,
+                             "compress": bool(compress)})
         welcome = recv_message(rfile)
         if not isinstance(welcome, dict) or welcome.get("op") != "welcome":
             return done
-        root = cache_root if cache_root is not None else welcome.get("cache")
+        proto = min(PROTO_VERSION, int(welcome.get("proto", 1)))
+        wire_compress = bool(compress and welcome.get("compress"))
+        mode, root = _resolve_cache(cache_mode, cache_root, welcome, proto)
+
+        def flush() -> None:
+            if not outbuf:
+                return
+            if proto >= 2 and len(outbuf) > 1:
+                send_message(wfile, {"op": "results",
+                                     "results": list(outbuf)}, wire_compress)
+            else:
+                for m in outbuf:
+                    send_message(wfile, m, wire_compress)
+            outbuf.clear()
+
+        def ingest(msg) -> bool:
+            """Absorb one server frame; False ends the connection."""
+            op = msg.get("op") if isinstance(msg, dict) else None
+            if op == "task":
+                pending.append({"id": msg["id"], "spec": msg["spec"]})
+                return True
+            if op == "tasks":
+                pending.extend(msg.get("tasks", ()))
+                return True
+            return False  # bye, or something we do not understand
+
+        def goodbye() -> None:
+            """Flush results and hand unstarted tasks back (protocol v2)."""
+            flush()
+            if proto >= 2:
+                send_message(wfile, {
+                    "op": "bye", "worker": name,
+                    "abandoned": [t["id"] for t in pending],
+                }, wire_compress)
+                wfile.flush()
+
+        def run_one(task: dict) -> Tuple[dict, bool]:
+            spec_dict = task["spec"]
+            if mode == "fs":
+                return run_task(spec_dict, root)
+            if mode == "proto":
+                content_hash = RunSpec.from_dict(spec_dict).content_hash()
+                flush()  # keep frame order: results before the query
+                send_message(wfile, {"op": "cache_get", "id": task["id"],
+                                     "hash": content_hash}, wire_compress)
+                while True:
+                    msg = recv_message(rfile)
+                    if msg is None:
+                        raise ConnectionError(
+                            "server hung up while answering cache_get")
+                    op = msg.get("op") if isinstance(msg, dict) else None
+                    if (op == "cache_value"
+                            and msg.get("id") == task["id"]):
+                        payload = msg.get("payload")
+                        if payload is not None:
+                            return payload, True
+                        break  # miss: simulate
+                    if not ingest(msg):
+                        raise ProtocolError(
+                            f"unexpected {op!r} while awaiting cache_value")
+            return run_task(spec_dict, None)
+
         while True:
-            msg = recv_message(rfile)
-            if not isinstance(msg, dict) or msg.get("op") == "bye":
+            if not pending:
+                flush()
+                if stop.is_set():
+                    goodbye()
+                    return done
+                state["phase"] = "recv"
+                try:
+                    msg = recv_message(rfile)
+                except GracefulExit:
+                    goodbye()
+                    return done
+                finally:
+                    state["phase"] = "run"
+                if msg is None or not ingest(msg):
+                    return done
+                continue
+            if stop.is_set():
+                goodbye()
                 return done
-            if msg.get("op") != "task":
-                return done
+            task = pending.popleft()
             t0 = time.perf_counter()
             try:
-                payload, cached = run_task(msg["spec"], root)
+                payload, cached = run_one(task)
             except Exception as exc:  # noqa: BLE001 - shipped to submitter
-                send_message(wfile, {
+                outbuf.append({
                     "op": "error",
-                    "id": msg["id"],
+                    "id": task["id"],
                     "error": f"{type(exc).__name__}: {exc}",
                     "traceback": traceback.format_exc(),
                 })
+                flush()
                 continue
-            send_message(wfile, {
+            outbuf.append({
                 "op": "result",
-                "id": msg["id"],
+                "id": task["id"],
                 "payload": payload,
                 "cached": cached,
                 "seconds": time.perf_counter() - t0,
             })
             done += 1
+            if not cached:
+                # computed results ship immediately so the server can
+                # refill the pipeline; cache hits batch up instead
+                flush()
     finally:
         for f in (rfile, wfile):
             try:
@@ -83,6 +247,26 @@ def serve(address: str, name: str = "worker",
             sock.close()
         except OSError:
             pass
+
+
+def _install_signals(stop: threading.Event, state: dict) -> None:
+    """Graceful SIGTERM/SIGINT: finish the in-flight task, say bye.
+
+    The handler only *interrupts* the worker when it is parked in an
+    idle ``recv`` (phase "recv"); mid-task it just sets the stop flag,
+    which the loop honours at the next task boundary.  The handler also
+    restores the default disposition, so a second signal kills the
+    process immediately.
+    """
+
+    def handler(signum, _frame):
+        stop.set()
+        signal.signal(signum, signal.SIG_DFL)
+        if state["phase"] == "recv":
+            raise GracefulExit
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, handler)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -98,13 +282,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--cache", default=None, metavar="DIR",
                         help="result-cache directory on this host "
                         "(default: whatever the server advertises)")
+    parser.add_argument("--cache-mode", default="auto", choices=CACHE_MODES,
+                        help="how to consult the result cache: filesystem, "
+                        "over the protocol (no shared FS), or not at all "
+                        "(default: auto)")
+    parser.add_argument("--no-compress", action="store_true",
+                        help="do not offer zlib frame compression at hello")
     args = parser.parse_args(argv)
+    stop = threading.Event()
+    state = {"phase": "run"}
+    _install_signals(stop, state)
     try:
-        done = serve(args.connect, name=args.name, cache_root=args.cache)
-    except (ConnectionError, OSError) as exc:
+        done = serve(args.connect, name=args.name, cache_root=args.cache,
+                     compress=not args.no_compress,
+                     cache_mode=args.cache_mode,
+                     stop_event=stop, _state=state)
+    except (ConnectionError, OSError, ProtocolError) as exc:
         print(f"{args.name}: connection failed: {exc}", file=sys.stderr)
         return 1
-    print(f"{args.name}: {done} task(s) done", file=sys.stderr)
+    note = " (graceful stop)" if stop.is_set() else ""
+    print(f"{args.name}: {done} task(s) done{note}", file=sys.stderr)
     return 0
 
 

@@ -66,6 +66,7 @@ from pathlib import Path
 from typing import (
     Any,
     Callable,
+    Dict,
     Iterator,
     List,
     NamedTuple,
@@ -169,9 +170,19 @@ class ResultCache:
         return self.root / f"{spec.content_hash()}.json"
 
     def get(self, spec: RunSpec) -> Optional[dict]:
-        path = self.path_for(spec)
+        return self.get_by_hash(spec.content_hash())
+
+    def get_by_hash(self, content_hash: str) -> Optional[dict]:
+        """Look up a payload by its spec's content hash directly.
+
+        This is the form the work-queue server uses to answer protocol
+        ``cache_get`` requests from workers that cannot see this
+        filesystem, and what the executor uses when it already holds
+        the hash (so a spec is never canonicalised twice).
+        """
         try:
-            with open(path, "r", encoding="utf-8") as fh:
+            with open(self.root / f"{content_hash}.json", "r",
+                      encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, ValueError):
             self.misses += 1
@@ -301,12 +312,22 @@ def _fmt_seconds(s: float) -> str:
 
 
 class TaskDone(NamedTuple):
-    """One finished backend task: the payload for ``specs[index]``."""
+    """One finished backend task: the payload for ``specs[index]``.
+
+    A *failed* task is a TaskDone too: ``payload`` is None and
+    ``error`` holds the formatted failure (``exc`` additionally carries
+    the live exception when the failure happened in this process or a
+    local pool, so the caller can re-raise the original).  Backends
+    never raise for a task failure — whether a failure aborts the sweep
+    is the caller's policy (see ``execute_iter(errors=...)``).
+    """
 
     index: int
-    payload: dict
+    payload: Optional[dict]
     cached: bool
     seconds: float
+    error: Optional[str] = None
+    exc: Optional[BaseException] = None
 
 
 class ExecutorBackend:
@@ -347,7 +368,14 @@ class LocalPoolBackend(ExecutorBackend):
             # the submitter already consulted the cache for every task
             for index, spec in tasks:
                 t0 = time.perf_counter()
-                payload, cached = run_task(spec.to_dict())
+                try:
+                    payload, cached = run_task(spec.to_dict())
+                except Exception as exc:  # noqa: BLE001 - caller's policy
+                    yield TaskDone(index, None, False,
+                                   time.perf_counter() - t0,
+                                   error=f"{type(exc).__name__}: {exc}",
+                                   exc=exc)
+                    continue
                 yield TaskDone(index, payload, cached,
                                time.perf_counter() - t0)
             return
@@ -360,7 +388,14 @@ class LocalPoolBackend(ExecutorBackend):
                 for index, spec in tasks
             }
             for fut in as_completed(futures):
-                payload, cached = fut.result()
+                try:
+                    payload, cached = fut.result()
+                except Exception as exc:  # noqa: BLE001 - caller's policy
+                    yield TaskDone(futures[fut], None, False,
+                                   time.perf_counter() - t0,
+                                   error=f"{type(exc).__name__}: {exc}",
+                                   exc=exc)
+                    continue
                 yield TaskDone(futures[fut], payload, cached,
                                time.perf_counter() - t0)
 
@@ -368,31 +403,49 @@ class LocalPoolBackend(ExecutorBackend):
 class WorkQueueBackend(ExecutorBackend):
     """Drain a sweep through the :mod:`repro.distrib` work-queue server.
 
-    The submitter starts a server holding the pending specs; ``workers``
-    client processes (spawned locally via ``python -m
-    repro.distrib.worker`` unless ``spawn=False``) connect, pull one
-    task at a time over newline-delimited JSON, and stream canonical
-    payloads back.  A worker that dies mid-task has its task resubmitted
-    to the queue (up to ``max_resubmits`` attempts per task); a worker
-    whose *runner* raises reports the error, which re-raises at the
-    submitter.
+    The submitter starts a server holding the pending specs; worker
+    client processes connect, pull tasks over versioned JSON frames,
+    and stream canonical payloads back.  Dispatch is **pipelined**: the
+    server keeps up to ``depth`` tasks in flight per worker (batched
+    into single frames on protocol-v2 connections) so workers never
+    idle for a round trip between points, and frames are
+    zlib-``compress``-ed when the worker negotiates it.  A worker that
+    dies mid-task has its in-flight tasks resubmitted to the queue (up
+    to ``max_resubmits`` attempts per task); a worker whose *runner*
+    raises reports the error, which surfaces at the submitter.
+
+    ``spawn`` selects who starts the workers:
+
+    * ``True`` (default) — ``workers`` local processes via
+      :class:`~repro.distrib.launcher.LocalLauncher`;
+    * a :class:`~repro.distrib.launcher.WorkerLauncher` — e.g.
+      :class:`~repro.distrib.launcher.SshLauncher` for a
+      ``host1:4,host2:8`` fleet or
+      :class:`~repro.distrib.launcher.CommandLauncher` for an arbitrary
+      shell template;
+    * ``False`` — the server just listens; start workers yourself
+      (possibly on other hosts) against the address in
+      :attr:`last_address`.
 
     ``address`` may be ``"host:port"`` (TCP; ``"127.0.0.1:0"`` picks a
     free port) or ``"unix:/path.sock"``; the default is an ephemeral
-    loopback TCP port.  With ``spawn=False`` the server just listens —
-    start workers yourself (possibly on other hosts) against the address
-    in :attr:`last_address`.  ``pythonpath`` prepends extra entries to
-    the spawned workers' ``PYTHONPATH`` (the directory containing
-    :mod:`repro` is always included).
+    loopback TCP port.  ``pythonpath`` prepends extra entries to the
+    spawned workers' ``PYTHONPATH`` (the directory containing
+    :mod:`repro` is always included).  Workers read through the
+    submitter's cache either directly (shared filesystem) or over the
+    protocol (``cache_get``) when they cannot see it — disable both
+    with ``worker_cache=False``.
     """
 
     def __init__(self, workers: int = 2,
                  address: Optional[str] = None,
-                 spawn: bool = True,
+                 spawn: Union[bool, "WorkerLauncher"] = True,
                  worker_cache: bool = True,
                  max_resubmits: int = 3,
                  pythonpath: Sequence[Union[str, Path]] = (),
-                 startup_timeout: float = 60.0):
+                 startup_timeout: float = 60.0,
+                 depth: int = 4,
+                 compress: bool = True):
         self.workers = max(1, int(workers))
         self.address = address
         self.spawn = spawn
@@ -400,28 +453,30 @@ class WorkQueueBackend(ExecutorBackend):
         self.max_resubmits = max_resubmits
         self.pythonpath = [str(p) for p in pythonpath]
         self.startup_timeout = startup_timeout
+        self.depth = max(1, int(depth))
+        self.compress = compress
         #: The address the last server actually bound (for external
         #: workers when ``spawn=False``).
         self.last_address: Optional[str] = None
 
     def parallelism(self) -> int:
+        count = getattr(self.spawn, "count", None)
+        if count:
+            return int(count)
         return self.workers
 
-    def _worker_env(self) -> dict:
-        import repro
+    def _launcher(self, n_tasks: int):
+        from .distrib.launcher import LocalLauncher, WorkerLauncher
 
-        env = dict(os.environ)
-        entries = [*self.pythonpath,
-                   str(Path(repro.__file__).resolve().parent.parent)]
-        if env.get("PYTHONPATH"):
-            entries.append(env["PYTHONPATH"])
-        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(entries))
-        return env
+        if isinstance(self.spawn, WorkerLauncher):
+            return self.spawn
+        if self.spawn:
+            return LocalLauncher(count=min(self.workers, n_tasks),
+                                 pythonpath=self.pythonpath)
+        return None
 
     def run(self, tasks: Sequence[Tuple[int, RunSpec]],
             cache: Optional[ResultCache] = None) -> Iterator[TaskDone]:
-        import subprocess
-
         from .distrib.server import SweepServer
 
         cache_root = (str(cache.root) if cache is not None
@@ -430,31 +485,25 @@ class WorkQueueBackend(ExecutorBackend):
             [(index, spec.to_dict()) for index, spec in tasks],
             cache_root=cache_root,
             max_resubmits=self.max_resubmits,
+            depth=self.depth,
+            compress=self.compress,
         )
         address = server.start(self.address)
         self.last_address = address
-        procs: List[subprocess.Popen] = []
+        launcher = self._launcher(len(tasks))
+        handles: List = []
         try:
-            if self.spawn:
-                env = self._worker_env()
-                for w in range(min(self.workers, len(tasks))):
-                    procs.append(subprocess.Popen(
-                        [sys.executable, "-m", "repro.distrib.worker",
-                         "--connect", address, "--name", f"worker-{w}"],
-                        env=env,
-                    ))
+            if launcher is not None:
+                handles = list(launcher.launch(address))
             yield from server.results(
-                procs=procs, startup_timeout=self.startup_timeout)
+                procs=handles, startup_timeout=self.startup_timeout)
         finally:
+            # closing the server sends/forces EOF on every worker
+            # connection, so remote (e.g. SSH-launched) workers exit on
+            # their own; the launcher then reaps local processes
             server.close()
-            for p in procs:
-                if p.poll() is None:
-                    p.terminate()
-            for p in procs:
-                try:
-                    p.wait(timeout=10)
-                except Exception:
-                    p.kill()
+            if launcher is not None:
+                launcher.stop()
 
 
 def _as_backend(backend: Optional[ExecutorBackend],
@@ -468,13 +517,18 @@ def _as_backend(backend: Optional[ExecutorBackend],
 
 
 class Completion(NamedTuple):
-    """One streamed sweep result: ``specs[index]`` finished."""
+    """One streamed sweep result: ``specs[index]`` finished.
+
+    With ``execute_iter(errors="yield")`` a failed spec completes too:
+    ``result`` is None and ``error`` holds the formatted failure.
+    """
 
     index: int
     spec: RunSpec
     result: Any
     cached: bool
     seconds: float
+    error: Optional[str] = None
 
 
 def execute_iter(specs: Sequence[RunSpec],
@@ -482,7 +536,8 @@ def execute_iter(specs: Sequence[RunSpec],
                  cache: Union[None, str, Path, ResultCache] = None,
                  backend: Optional[ExecutorBackend] = None,
                  progress: Union[None, bool, Progress] = None,
-                 on_result: Optional[OnResult] = None
+                 on_result: Optional[OnResult] = None,
+                 errors: str = "raise"
                  ) -> Iterator[Completion]:
     """Run ``specs``, yielding a :class:`Completion` per spec as it lands.
 
@@ -493,7 +548,22 @@ def execute_iter(specs: Sequence[RunSpec],
     arrives.  ``progress`` may be a :class:`Progress` (it is updated per
     completion) or ``True`` for a default one printing to stderr;
     ``on_result`` is the legacy per-spec callback.
+
+    **Deduplication**: specs with equal content hashes are computed
+    once — the one result fans out to every index that asked for it, so
+    a sweep with repeated points costs one simulation even on a cold
+    cache.
+
+    **Failure policy**: with ``errors="raise"`` (the default) the first
+    failed spec aborts the sweep — in-process failures re-raise the
+    original exception, worker-side failures raise
+    :class:`~repro.distrib.WorkerTaskError`.  With ``errors="yield"``
+    a failed spec is yielded as a Completion with ``error`` set and the
+    sweep keeps going — the campaign driver's mode, where one bad point
+    must not sink a thousand-point night.
     """
+    if errors not in ("raise", "yield"):
+        raise ValueError(f"errors must be 'raise' or 'yield', not {errors!r}")
     cache = _as_cache(cache)
     backend = _as_backend(backend, jobs)
     if progress is True:
@@ -501,32 +571,58 @@ def execute_iter(specs: Sequence[RunSpec],
                             stream=sys.stderr)
 
     def emit(index: int, spec: RunSpec, result: Any, cached: bool,
-             seconds: float) -> Completion:
+             seconds: float, error: Optional[str] = None) -> Completion:
         if progress is not None:
             progress.update(spec, cached, seconds)
         if on_result is not None:
             on_result(index, spec, result, cached, seconds)
-        return Completion(index, spec, result, cached, seconds)
+        return Completion(index, spec, result, cached, seconds, error)
 
     pending: List[Tuple[int, RunSpec]] = []
     hits: List[Tuple[int, dict]] = []
+    duplicates: Dict[int, List[int]] = {}
+    first_with_hash: Dict[str, int] = {}
     for i, spec in enumerate(specs):
-        hit = cache.get(spec) if cache is not None else None
+        content_hash = spec.content_hash()
+        hit = (cache.get_by_hash(content_hash)
+               if cache is not None else None)
         if hit is not None:
             hits.append((i, hit))
-        else:
+            continue
+        rep = first_with_hash.get(content_hash)
+        if rep is None:
+            first_with_hash[content_hash] = i
             pending.append((i, spec))
+        else:
+            # identical spec already submitted: fan its result out here
+            duplicates.setdefault(rep, []).append(i)
     for i, payload in hits:
         yield emit(i, specs[i], _result_from(payload), True, 0.0)
     if not pending:
         return
     for done in backend.run(pending, cache=cache):
+        fanout = [done.index, *duplicates.get(done.index, ())]
+        if done.error is not None:
+            if errors == "raise":
+                if done.exc is not None:
+                    raise done.exc
+                from .distrib.server import WorkerTaskError
+
+                raise WorkerTaskError(
+                    f"task {done.index} failed on a worker: {done.error}"
+                )
+            for j in fanout:
+                yield emit(j, specs[j], None, False,
+                           done.seconds if j == done.index else 0.0,
+                           error=done.error)
+            continue
         if cache is not None:
             # write-back at the submitter: idempotent (atomic replace of
             # identical canonical bytes) even if a worker cache-hit
             cache.put(specs[done.index], done.payload)
-        yield emit(done.index, specs[done.index],
-                   _result_from(done.payload), done.cached, done.seconds)
+        for j in fanout:
+            yield emit(j, specs[j], _result_from(done.payload),
+                       done.cached, done.seconds if j == done.index else 0.0)
 
 
 def execute(specs: Sequence[RunSpec],
@@ -534,7 +630,8 @@ def execute(specs: Sequence[RunSpec],
             cache: Union[None, str, Path, ResultCache] = None,
             backend: Optional[ExecutorBackend] = None,
             progress: Union[None, bool, Progress] = None,
-            on_result: Optional[OnResult] = None) -> List[Any]:
+            on_result: Optional[OnResult] = None,
+            errors: str = "raise") -> List[Any]:
     """Run ``specs`` and return their results, in spec order.
 
     The barrier form of :func:`execute_iter`: results stream internally
@@ -543,9 +640,11 @@ def execute(specs: Sequence[RunSpec],
     backend's completion order.  ``jobs`` selects the default
     :class:`LocalPoolBackend` width when no ``backend`` is given;
     ``cache`` may be a :class:`ResultCache`, a directory path, or None.
+    With ``errors="yield"``, failed specs come back as None.
     """
     results: List[Any] = [None] * len(specs)
     for c in execute_iter(specs, jobs=jobs, cache=cache, backend=backend,
-                          progress=progress, on_result=on_result):
+                          progress=progress, on_result=on_result,
+                          errors=errors):
         results[c.index] = c.result
     return results

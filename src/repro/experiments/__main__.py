@@ -106,9 +106,25 @@ def build_parser() -> argparse.ArgumentParser:
         "clients over a socket)",
     )
     parser.add_argument(
-        "--workers", type=int, default=2, metavar="N",
-        help="worker clients for --backend workqueue (0 = one per CPU; "
-        "default 2)",
+        "--workers", default="2", metavar="SPEC",
+        help="worker clients for --backend workqueue: a count ('4', 0 = "
+        "one per CPU) or ssh host specs ('host1:4,host2:8'; remote "
+        "hosts read the cache over the protocol; default 2)",
+    )
+    parser.add_argument(
+        "--worker-cmd", default=None, metavar="TEMPLATE",
+        help="launch each workqueue worker via this sh -c template "
+        "({address}/{name}/{python} substituted) instead of local "
+        "subprocesses",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=4, metavar="N",
+        help="workqueue pipelining: tasks kept in flight per worker "
+        "(default 4; 1 = strict request/reply)",
+    )
+    parser.add_argument(
+        "--no-compress", action="store_true",
+        help="disable zlib frame compression on the workqueue protocol",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -172,8 +188,20 @@ def main(argv=None) -> None:
                          "(drop --no-cache)")
     backend = None
     if args.backend == "workqueue":
-        workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
-        backend = WorkQueueBackend(workers=workers)
+        from ..distrib.launcher import CommandLauncher, parse_worker_spec
+
+        spec = parse_worker_spec(args.workers)
+        if isinstance(spec, int):
+            workers = spec if spec > 0 else (os.cpu_count() or 1)
+            spawn = (CommandLauncher(args.worker_cmd, count=workers)
+                     if args.worker_cmd else True)
+        else:
+            workers = spec.count
+            spawn = (CommandLauncher(args.worker_cmd, count=workers)
+                     if args.worker_cmd else spec)
+        backend = WorkQueueBackend(workers=workers, spawn=spawn,
+                                   depth=args.depth,
+                                   compress=not args.no_compress)
     execution = Execution(jobs=jobs, backend=backend, cache=cache,
                           csv_dir=args.csv_dir, progress=True,
                           profile="verify" if args.verify else None)
